@@ -1,0 +1,75 @@
+// Command rnabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rnabench -list
+//	rnabench [-scale 1.0] [-seed 1] [-workers 8] fig6 table3 ...
+//	rnabench all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	rna "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rnabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rnabench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		scale   = fs.Float64("scale", 1.0, "iteration-budget scale in (0,1]")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "override cluster size (0 = experiment default)")
+		jsonOut = fs.Bool("json", false, "emit the reports as a JSON array on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range rna.ExperimentIDs() {
+			title, err := rna.ExperimentTitle(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %s\n", id, title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiments given (use -list to see IDs, or 'all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = rna.ExperimentIDs()
+	}
+	opts := rna.ExperimentOptions{Seed: *seed, Scale: *scale, Workers: *workers}
+	var reports []*rna.ExperimentReport
+	for _, id := range ids {
+		rep, err := rna.RunExperiment(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *jsonOut {
+			reports = append(reports, rep)
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n\n%s\n", rep.ID, rep.Title, rep.Body)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
+}

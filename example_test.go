@@ -1,0 +1,107 @@
+package rna_test
+
+import (
+	"fmt"
+	"time"
+
+	rna "repro"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// ExampleSimulate runs RNA on a simulated 8-worker cluster with random
+// stragglers and reports whether it reached the target loss.
+func ExampleSimulate() {
+	src := rng.New(42)
+	ds, err := data.Blobs(src, 4, 5, 40, 0.2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := model.NewLogistic(ds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := rna.Simulate(rna.SimulationConfig{
+		Strategy:      rna.RNA,
+		Workers:       8,
+		Model:         m,
+		Dataset:       ds,
+		BatchSize:     16,
+		LR:            0.3,
+		Step:          workload.Balanced{Base: 100 * time.Millisecond, Jitter: 0.05},
+		Spec:          workload.ResNet56(),
+		Comm:          workload.DefaultComm(),
+		TargetLoss:    0.3,
+		MaxIterations: 500,
+		Seed:          42,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("reached target:", res.ReachedTarget)
+	// Output: reached target: true
+}
+
+// ExampleTrainCluster trains 4 real concurrent workers with the RNA
+// protocol and verifies the cross-rank parameter invariant.
+func ExampleTrainCluster() {
+	src := rng.New(7)
+	ds, err := data.Blobs(src, 3, 4, 40, 0.2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := model.NewLogistic(ds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	results, err := rna.TrainCluster(4, 2, rna.PolicyPowerOfChoices, rna.TrainConfig{
+		Model:      m,
+		Batch:      func(s *rng.Source) []int { return ds.Batch(s, 16) },
+		LR:         0.25,
+		Iterations: 50,
+		Seed:       7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	identical := true
+	for r := 1; r < len(results); r++ {
+		if !results[r].Params.Equal(results[0].Params, 1e-9) {
+			identical = false
+		}
+	}
+	fmt.Println("all ranks identical:", identical)
+	// Output: all ranks identical: true
+}
+
+// ExamplePartitionWorkers groups a mixed-speed cluster with the paper's
+// ζ > v rule.
+func ExamplePartitionWorkers() {
+	obs := make([][]time.Duration, 4)
+	for w := range obs {
+		base := 100 * time.Millisecond
+		if w >= 2 {
+			base = 400 * time.Millisecond
+		}
+		obs[w] = []time.Duration{base, base + time.Millisecond, base - time.Millisecond}
+	}
+	groups, err := rna.PartitionWorkers(obs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, g := range groups {
+		fmt.Printf("group %d: %v\n", i, g.Members)
+	}
+	// Output:
+	// group 0: [0 1]
+	// group 1: [2 3]
+}

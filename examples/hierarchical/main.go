@@ -1,0 +1,102 @@
+// Hierarchical synchronization: the paper's Section 4 scenario. Half the
+// cluster is deterministically slower (mixed heterogeneity); the ζ > v
+// grouping rule partitions workers into speed-homogeneous RNA groups glued
+// together by an asynchronous parameter server, recovering the speedup
+// plain RNA loses to the persistent slowdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rna "repro"
+	"repro/internal/data"
+	"repro/internal/hetero"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const workers = 8
+	inj := hetero.NewMixedGroups(workers)
+	fmt.Printf("cluster: %d workers, %s\n\n", workers, inj.Describe())
+
+	// Show the grouping decision on profiled task times.
+	src := rng.New(9)
+	obs := make([][]time.Duration, workers)
+	base := workload.Balanced{Base: 140 * time.Millisecond, Jitter: 0.05}
+	for w := range obs {
+		stepSrc := src.Split(2 * w)
+		delaySrc := src.Split(2*w + 1)
+		obs[w] = make([]time.Duration, 32)
+		for i := range obs[w] {
+			obs[w][i] = base.Sample(stepSrc) + inj.Delay(delaySrc, w, i)
+		}
+	}
+	groups, err := topology.PartitionByObservations(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("the zeta > v rule forms %d groups:\n", len(groups))
+	for i, g := range groups {
+		fmt.Printf("  group %d: workers %v\n", i, g.Members)
+	}
+	fmt.Println()
+
+	// Compare plain RNA against hierarchical RNA on the mixed cluster.
+	dsrc := rng.New(42)
+	full, err := data.Blobs(dsrc, 10, 8, 60, 0.45)
+	if err != nil {
+		return err
+	}
+	train, val, err := full.Split(dsrc, 0.2)
+	if err != nil {
+		return err
+	}
+	m, err := model.NewLogistic(train)
+	if err != nil {
+		return err
+	}
+
+	var horovodTime time.Duration
+	for _, strat := range []rna.Strategy{rna.Horovod, rna.RNA, rna.RNAHierarchical} {
+		res, err := rna.Simulate(rna.SimulationConfig{
+			Strategy:      strat,
+			Workers:       workers,
+			Model:         m,
+			Dataset:       train,
+			EvalSet:       val,
+			BatchSize:     32,
+			LR:            0.3,
+			Momentum:      0.9,
+			Step:          base,
+			Spec:          workload.ResNet50(),
+			Comm:          workload.DefaultComm(),
+			Injector:      inj,
+			TargetLoss:    0.40,
+			MaxIterations: 4000,
+			Seed:          42,
+		})
+		if err != nil {
+			return err
+		}
+		if strat == rna.Horovod {
+			horovodTime = res.VirtualTime
+		}
+		fmt.Printf("%-8v to loss 0.40: %8v (%.2fx vs Horovod), val top-1 %.1f%%\n",
+			strat, res.VirtualTime.Round(time.Millisecond),
+			float64(horovodTime)/float64(res.VirtualTime), res.ValTop1*100)
+	}
+	fmt.Println("\n(plain RNA's probabilistic sampling cannot dodge a deterministic slowdown;")
+	fmt.Println(" grouping makes each ring homogeneous and the PS absorbs the speed difference.)")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Quickstart: train one model twice on a simulated 8-worker cluster with
+// random stragglers — once with the Horovod-style blocking AllReduce, once
+// with RNA — and compare time-to-target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rna "repro"
+	"repro/internal/data"
+	"repro/internal/hetero"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A synthetic 10-class classification problem with a held-out split.
+	src := rng.New(42)
+	full, err := data.Blobs(src, 10, 8, 60, 0.45)
+	if err != nil {
+		return err
+	}
+	train, val, err := full.Split(src, 0.2)
+	if err != nil {
+		return err
+	}
+	m, err := model.NewLogistic(train)
+	if err != nil {
+		return err
+	}
+
+	base := rna.SimulationConfig{
+		Workers:     8,
+		Model:       m,
+		Dataset:     train,
+		EvalSet:     val,
+		BatchSize:   32,
+		LR:          0.3,
+		Momentum:    0.9,
+		WeightDecay: 1e-4,
+		// ResNet50-class workload with random 0-50 ms slowdowns plus
+		// rare severe transient stragglers (co-located workload bursts).
+		Step: workload.Balanced{Base: 140 * time.Millisecond, Jitter: 0.05},
+		Spec: workload.ResNet50(),
+		Comm: workload.DefaultComm(),
+		Injector: hetero.Stack{
+			hetero.UniformRandom{Lo: 0, Hi: 50 * time.Millisecond},
+			hetero.TransientSpikes{P: 0.02, Lo: time.Second, Hi: 2 * time.Second},
+		},
+		TargetLoss:    0.30,
+		MaxIterations: 4000,
+		Seed:          42,
+	}
+
+	var baseline time.Duration
+	for _, strat := range []rna.Strategy{rna.Horovod, rna.RNA} {
+		cfg := base
+		cfg.Strategy = strat
+		res, err := rna.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		if strat == rna.Horovod {
+			baseline = res.VirtualTime
+		}
+		fmt.Printf("%-8v reached loss %.3f in %8v (%4d iterations, val top-1 %.1f%%)\n",
+			strat, res.FinalLoss, res.VirtualTime.Round(time.Millisecond),
+			res.Iterations, res.ValTop1*100)
+		if strat == rna.RNA {
+			fmt.Printf("\nRNA speedup over Horovod: %.2fx\n",
+				float64(baseline)/float64(res.VirtualTime))
+		}
+	}
+	return nil
+}

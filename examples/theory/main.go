@@ -1,0 +1,19 @@
+// Theory: empirically verify the convergence analysis of the paper's
+// Section 5 on a noisy quadratic objective — the O(1/sqrt(K)) rate of
+// Theorem 5.1 and the staleness-independence of Theorem 5.2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rna "repro"
+)
+
+func main() {
+	rep, err := rna.RunExperiment("theory-convergence", rna.ExperimentOptions{Seed: 42, Scale: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n\n%s", rep.Title, rep.Body)
+}

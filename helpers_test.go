@@ -1,0 +1,28 @@
+package rna
+
+import (
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// simStep is a fixed 50 ms ± 10% step sampler for facade tests and benches.
+type simStep struct{}
+
+func (simStep) Sample(src *rng.Source) time.Duration {
+	return workload.Balanced{Base: 50 * time.Millisecond, Jitter: 0.1}.Sample(src)
+}
+
+func (simStep) Mean() time.Duration { return 50 * time.Millisecond }
+
+// simSpec is a small model spec for facade tests and benches.
+func simSpec() workload.ModelSpec {
+	return workload.ResNet56()
+}
+
+// benchBlobs builds the shared benchmark dataset.
+func benchBlobs(src *rng.Source) (*data.Dataset, error) {
+	return data.Blobs(src, 10, 8, 40, 0.4)
+}

@@ -1,0 +1,213 @@
+// Package collective implements decentralized collective operations over a
+// transport.Mesh: the bandwidth-optimal ring AllReduce of Section 2.2
+// (scatter-reduce + allgather), the partial AllReduce RNA builds on (null
+// contributions from stragglers, contributor counting), and a binomial-tree
+// broadcast used by the hierarchical synchronizer.
+//
+// All operations are SPMD: every rank calls the same function with its own
+// mesh endpoint, and the call returns when that rank's part completes.
+package collective
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// ReduceOp selects the AllReduce reduction.
+type ReduceOp int
+
+// Supported reductions.
+const (
+	// OpSum leaves the element-wise sum in the output.
+	OpSum ReduceOp = iota + 1
+	// OpAverage divides the element-wise sum by the rank count.
+	OpAverage
+)
+
+// ErrProtocol is returned when a received message does not match the
+// collective's expected step (wrong iteration or chunk), which indicates
+// interleaved collectives on one mesh.
+var ErrProtocol = errors.New("collective: protocol violation")
+
+// RingAllReduce reduces v in place across all ranks of m using the ring
+// schedule: N−1 scatter-reduce steps, each sending one 1/N chunk to the
+// left neighbor while reducing the chunk arriving from the right, followed
+// by N−1 allgather steps circulating the fully reduced chunks. iter tags
+// the messages so concurrent iterations cannot be confused.
+func RingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
+	n := m.Size()
+	if n == 1 {
+		return nil
+	}
+	rank := m.Rank()
+	left := (rank + 1) % n
+	right := (rank - 1 + n) % n
+	chunks, err := tensor.Partition(v, n)
+	if err != nil {
+		return err
+	}
+
+	// Scatter-reduce: after step s, rank r holds the running sum of
+	// chunk (r−s−1 mod n) over s+2 ranks; after n−1 steps it owns the
+	// complete sum of chunk (r+1 mod n).
+	for s := 0; s < n-1; s++ {
+		sendIdx := mod(rank-s, n)
+		recvIdx := mod(rank-s-1, n)
+		if err := m.Send(left, transport.Message{
+			Type:    transport.MsgChunk,
+			Iter:    iter,
+			Chunk:   int32(sendIdx),
+			Payload: chunks[sendIdx].Data,
+		}); err != nil {
+			return fmt.Errorf("scatter send: %w", err)
+		}
+		msg, err := m.Recv(right)
+		if err != nil {
+			return fmt.Errorf("scatter recv: %w", err)
+		}
+		if msg.Iter != iter || int(msg.Chunk) != recvIdx {
+			return fmt.Errorf("%w: scatter got iter=%d chunk=%d, want iter=%d chunk=%d",
+				ErrProtocol, msg.Iter, msg.Chunk, iter, recvIdx)
+		}
+		if err := chunks[recvIdx].Data.Add(msg.Payload); err != nil {
+			return fmt.Errorf("scatter reduce: %w", err)
+		}
+	}
+
+	// Allgather: circulate the completed chunks; receivers overwrite.
+	for s := 0; s < n-1; s++ {
+		sendIdx := mod(rank+1-s, n)
+		recvIdx := mod(rank-s, n)
+		if err := m.Send(left, transport.Message{
+			Type:    transport.MsgChunk,
+			Iter:    iter,
+			Chunk:   int32(sendIdx),
+			Payload: chunks[sendIdx].Data,
+		}); err != nil {
+			return fmt.Errorf("gather send: %w", err)
+		}
+		msg, err := m.Recv(right)
+		if err != nil {
+			return fmt.Errorf("gather recv: %w", err)
+		}
+		if msg.Iter != iter || int(msg.Chunk) != recvIdx {
+			return fmt.Errorf("%w: gather got iter=%d chunk=%d, want iter=%d chunk=%d",
+				ErrProtocol, msg.Iter, msg.Chunk, iter, recvIdx)
+		}
+		if err := chunks[recvIdx].Data.CopyFrom(msg.Payload); err != nil {
+			return fmt.Errorf("gather copy: %w", err)
+		}
+	}
+
+	if op == OpAverage {
+		v.Scale(1 / float64(n))
+	}
+	return nil
+}
+
+// PartialResult is the outcome of a partial AllReduce.
+type PartialResult struct {
+	// Sum is the element-wise sum over contributing ranks only.
+	Sum tensor.Vector
+	// Contributors is Σ w_{k,i}: how many ranks contributed a real
+	// gradient (the rest supplied nulls). Zero means nobody had data.
+	Contributors int
+}
+
+// PartialRingAllReduce performs the paper's partial AllReduce: ranks with
+// contributes=false take part in the communication graph with a null
+// (zero) gradient, exactly as Section 2.3.2 describes, so the ring schedule
+// is unchanged. The reduction also counts contributors, giving every rank
+// the weight W = 1/Σw needed for the weighted average of Algorithm 2.
+//
+// v is not modified; the summed gradient is returned in PartialResult.Sum.
+func PartialRingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
+	// Piggyback the contribution flag as one extra element so the count
+	// is reduced by the same ring pass as the data.
+	work := make(tensor.Vector, len(v)+1)
+	if contributes {
+		copy(work, v)
+		work[len(v)] = 1
+	}
+	if err := RingAllReduce(m, iter, work, OpSum); err != nil {
+		return PartialResult{}, err
+	}
+	contributors := int(work[len(v)] + 0.5)
+	return PartialResult{Sum: work[:len(v)], Contributors: contributors}, nil
+}
+
+// Broadcast distributes root's v to all ranks via a binomial tree rooted at
+// root. On non-root ranks v is overwritten with the received data; all
+// ranks must pass a v of equal length.
+func Broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int) error {
+	n := m.Size()
+	if n == 1 {
+		return nil
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("collective: broadcast root %d of %d", root, n)
+	}
+	// Work in a rotated space where the root is rank 0.
+	vrank := mod(m.Rank()-root, n)
+
+	// Receive phase: every non-root rank receives exactly once, from the
+	// parent that covers it in the doubling schedule.
+	if vrank != 0 {
+		// The parent of vrank is vrank with its highest set bit cleared.
+		parent := vrank &^ highestBit(vrank)
+		src := mod(parent+root, n)
+		msg, err := m.Recv(src)
+		if err != nil {
+			return fmt.Errorf("broadcast recv: %w", err)
+		}
+		if msg.Iter != iter || msg.Type != transport.MsgBroadcast {
+			return fmt.Errorf("%w: broadcast got iter=%d type=%d", ErrProtocol, msg.Iter, msg.Type)
+		}
+		if err := v.CopyFrom(msg.Payload); err != nil {
+			return fmt.Errorf("broadcast copy: %w", err)
+		}
+	}
+
+	// Send phase: forward to children vrank+span for doubling spans.
+	span := highestBit(vrank)
+	if vrank == 0 {
+		span = 1
+	} else {
+		span <<= 1
+	}
+	for ; span < n; span <<= 1 {
+		child := vrank + span
+		if child >= n {
+			break
+		}
+		dst := mod(child+root, n)
+		if err := m.Send(dst, transport.Message{
+			Type:    transport.MsgBroadcast,
+			Iter:    iter,
+			Payload: v,
+		}); err != nil {
+			return fmt.Errorf("broadcast send: %w", err)
+		}
+	}
+	return nil
+}
+
+// mod returns a (mod n) normalized to [0, n).
+func mod(a, n int) int {
+	return ((a % n) + n) % n
+}
+
+// highestBit returns the highest power of two not exceeding x; 0 for x<=0.
+func highestBit(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	b := 1
+	for b<<1 <= x {
+		b <<= 1
+	}
+	return b
+}

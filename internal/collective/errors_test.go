@@ -1,0 +1,105 @@
+package collective
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// TestProtocolViolationDetected injects an out-of-band message into the
+// ring stream and checks the collective reports ErrProtocol rather than
+// silently corrupting data.
+func TestProtocolViolationDetected(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+
+	// Rank 1 sends a rogue chunk with the wrong iteration before joining.
+	if err := ep1.Send(0, transport.Message{
+		Type: transport.MsgChunk, Iter: 999, Chunk: 0, Payload: []float64{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err0Ch := make(chan error, 1)
+	err1Ch := make(chan error, 1)
+	go func() { err0Ch <- RingAllReduce(ep0, 1, tensor.New(2), OpSum) }()
+	go func() { err1Ch <- RingAllReduce(ep1, 1, tensor.New(2), OpSum) }()
+	// Rank 0 sees the rogue message first and must fail with a protocol
+	// error; then unblock rank 1 (stuck in recv) by closing its endpoint.
+	err0 := <-err0Ch
+	_ = ep1.Close()
+	<-err1Ch // rank 1 fails with a closed-mesh error; exact value untested
+	if !errors.Is(err0, ErrProtocol) {
+		t.Errorf("rank 0 error = %v, want ErrProtocol", err0)
+	}
+}
+
+// TestRingAllReduceClosedMesh checks clean error propagation when the mesh
+// dies mid-collective.
+func TestRingAllReduceClosedMesh(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, _ := net.Endpoint(0)
+	_ = net.Close()
+	if err := RingAllReduce(ep0, 0, tensor.New(4), OpSum); err == nil {
+		t.Error("allreduce on closed mesh should error")
+	}
+	if _, err := PartialRingAllReduce(ep0, 0, tensor.New(4), true); err == nil {
+		t.Error("partial allreduce on closed mesh should error")
+	}
+	if err := Broadcast(ep0, 0, tensor.New(4), 0); err == nil {
+		t.Error("broadcast on closed mesh should error")
+	}
+}
+
+// TestBroadcastShapeMismatch: the receiver's buffer must match the payload.
+func TestBroadcastShapeMismatch(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+	var rootErr, leafErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ep, _ := net.Endpoint(0)
+		rootErr = Broadcast(ep, 0, tensor.New(4), 0)
+	}()
+	go func() {
+		defer wg.Done()
+		ep, _ := net.Endpoint(1)
+		leafErr = Broadcast(ep, 0, tensor.New(3), 0) // wrong size
+	}()
+	wg.Wait()
+	if rootErr != nil {
+		t.Errorf("root error = %v", rootErr)
+	}
+	if leafErr == nil {
+		t.Error("mismatched receiver should error")
+	}
+}
+
+// TestFusedAllReduceErrorPropagates: a failure in one fusion group surfaces.
+func TestFusedAllReduceErrorPropagates(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, _ := net.Endpoint(0)
+	_ = net.Close()
+	err = FusedAllReduce(ep0, 0, []tensor.Vector{tensor.New(2)}, OpSum, 0)
+	if err == nil {
+		t.Error("fused allreduce on closed mesh should error")
+	}
+}

@@ -1,0 +1,136 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func TestFusedAllReduceMatchesPerTensor(t *testing.T) {
+	const n = 4
+	sizes := []int{5, 3, 17, 1, 9}
+	mkTensors := func(rank int) []tensor.Vector {
+		out := make([]tensor.Vector, len(sizes))
+		for i, s := range sizes {
+			out[i] = tensor.New(s)
+			for j := range out[i] {
+				out[i][j] = float64(rank*100 + i*10 + j)
+			}
+		}
+		return out
+	}
+	// Expected element-wise means.
+	want := mkTensors(0)
+	for i := range want {
+		for j := range want[i] {
+			var sum float64
+			for r := 0; r < n; r++ {
+				sum += float64(r*100 + i*10 + j)
+			}
+			want[i][j] = sum / n
+		}
+	}
+
+	for _, fusionBytes := range []int{1, 64, 10 * 8, 1 << 20} {
+		perRank := make([][]tensor.Vector, n)
+		for r := range perRank {
+			perRank[r] = mkTensors(r)
+		}
+		runSPMD(t, n, func(m transport.Mesh) error {
+			return FusedAllReduce(m, 3, perRank[m.Rank()], OpAverage, fusionBytes)
+		})
+		for r := 0; r < n; r++ {
+			for i := range sizes {
+				if !perRank[r][i].Equal(want[i], 1e-9) {
+					t.Fatalf("fusion=%dB rank %d tensor %d = %v, want %v",
+						fusionBytes, r, i, perRank[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFusedAllReduceEmpty(t *testing.T) {
+	runSPMD(t, 2, func(m transport.Mesh) error {
+		return FusedAllReduce(m, 0, nil, OpSum, 0)
+	})
+}
+
+func TestFusedAllReduceSingleRank(t *testing.T) {
+	runSPMD(t, 1, func(m transport.Mesh) error {
+		v := tensor.FromSlice([]float64{1, 2})
+		if err := FusedAllReduce(m, 0, []tensor.Vector{v}, OpAverage, 0); err != nil {
+			return err
+		}
+		if !v.Equal(tensor.FromSlice([]float64{1, 2}), 0) {
+			t.Error("single-rank fused allreduce changed data")
+		}
+		return nil
+	})
+}
+
+func TestFusionGroups(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		bytes int
+		want  int
+	}{
+		{nil, 0, 0},
+		{[]int{10, 10, 10}, 1 << 30, 1},
+		{[]int{10, 10, 10}, 10 * 8, 3},
+		{[]int{10, 10, 10}, 20 * 8, 2},
+		{[]int{100}, 8, 1}, // one oversized tensor still fits alone
+		{[]int{100, 1}, 8, 2},
+	}
+	for _, c := range cases {
+		if got := FusionGroups(c.sizes, c.bytes); got != c.want {
+			t.Errorf("FusionGroups(%v, %d) = %d, want %d", c.sizes, c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFusedAllReduceManySmallTensors(t *testing.T) {
+	// 50 layer-sized tensors, fused into few buffers: the Horovod tensor
+	// fusion scenario.
+	const n, layers = 3, 50
+	perRank := make([][]tensor.Vector, n)
+	for r := range perRank {
+		perRank[r] = make([]tensor.Vector, layers)
+		for i := range perRank[r] {
+			perRank[r][i] = tensor.FromSlice([]float64{float64(r), float64(i)})
+		}
+	}
+	var wg sync.WaitGroup
+	net, err := transport.NewLocalNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	errs := make([]error, n)
+	for r, m := range net.Endpoints() {
+		r, m := r, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = FusedAllReduce(m, 1, perRank[r], OpSum, 16*8)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for i := range perRank[r] {
+			if perRank[r][i][0] != 3 { // 0+1+2
+				t.Fatalf("rank %d layer %d sum = %v", r, i, perRank[r][i][0])
+			}
+			if perRank[r][i][1] != float64(3*i) {
+				t.Fatalf("rank %d layer %d second elem = %v", r, i, perRank[r][i][1])
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// runADPSGDCluster runs AD-PSGD workers on a fresh local mesh and closes
+// the mesh only after every worker returned (responders must stay alive).
+func runADPSGDCluster(t *testing.T, n int, mkCfg func(rank int) TrainConfig) []*ADPSGDResult {
+	t.Helper()
+	net, err := transport.NewLocalNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*ADPSGDResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, m := range net.Endpoints() {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = RunADPSGDWorker(m, mkCfg(i))
+		}()
+	}
+	wg.Wait()
+	_ = net.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func TestADPSGDWorkerTrains(t *testing.T) {
+	cfg, ds := blobConfig(t, 120)
+	results := runADPSGDCluster(t, 4, func(int) TrainConfig { return cfg })
+
+	consensus, err := ConsensusParams(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := cfg.Model.(model.Classifier)
+	top1, _, err := cls.Accuracy(consensus, model.All(ds), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 < 0.75 {
+		t.Errorf("AD-PSGD consensus top-1 = %v", top1)
+	}
+	// Gossip actually happened.
+	totalAvg := 0
+	for _, r := range results {
+		totalAvg += r.Averagings
+	}
+	if totalAvg == 0 {
+		t.Error("no pairwise averagings occurred")
+	}
+	// Individual models stay approximately consensual (not identical).
+	for r := 1; r < len(results); r++ {
+		if !results[r].Params.Equal(results[0].Params, 5.0) {
+			t.Errorf("rank %d wildly diverged from rank 0", r)
+		}
+	}
+}
+
+func TestADPSGDWithStraggler(t *testing.T) {
+	cfg, ds := blobConfig(t, 60)
+	results := runADPSGDCluster(t, 3, func(rank int) TrainConfig {
+		c := cfg
+		if rank == 2 {
+			c.SlowDown = func(int, int) time.Duration { return 2 * time.Millisecond }
+		}
+		return c
+	})
+	consensus, err := ConsensusParams(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consensus.IsFinite() {
+		t.Fatal("non-finite consensus")
+	}
+	cls := cfg.Model.(model.Classifier)
+	top1, _, err := cls.Accuracy(consensus, model.All(ds), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 < 0.7 {
+		t.Errorf("straggler AD-PSGD top-1 = %v", top1)
+	}
+}
+
+func TestADPSGDValidation(t *testing.T) {
+	net, err := transport.NewLocalNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	mesh, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := blobConfig(t, 10)
+	if _, err := RunADPSGDWorker(mesh, cfg); err == nil {
+		t.Error("single-worker AD-PSGD should error")
+	}
+	if _, err := RunADPSGDWorker(mesh, TrainConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := ConsensusParams(nil); err == nil {
+		t.Error("empty consensus should error")
+	}
+}

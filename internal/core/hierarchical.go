@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/controller"
+	"repro/internal/ps"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// HierarchicalConfig configures one worker of the hierarchical scheme
+// (Section 4) on the goroutine runtime: speed-homogeneous groups each run
+// RNA internally; periodically each group's leader exchanges the group's
+// accumulated update with a shared parameter server and broadcasts the
+// pulled global model inside the group.
+type HierarchicalConfig struct {
+	// Train carries the per-worker training configuration.
+	Train TrainConfig
+	// Groups partitions the global ranks (e.g. from
+	// topology.PartitionByObservations). Every rank must appear exactly
+	// once.
+	Groups []topology.Group
+	// Store is the shared parameter server; seed it with SeedStore
+	// before starting any worker.
+	Store *ps.Store
+	// PSEvery is the PS exchange period in group synchronizations
+	// (default 4).
+	PSEvery int
+}
+
+// hierarchicalPSKey is the store key holding the global model.
+const hierarchicalPSKey = "hierarchical-global"
+
+func (c *HierarchicalConfig) psEvery() int {
+	if c.PSEvery < 1 {
+		return 4
+	}
+	return c.PSEvery
+}
+
+// SeedStore initializes the shared parameter server with the deterministic
+// initial model every worker starts from. Call once before starting the
+// cluster.
+func SeedStore(store *ps.Store, cfg TrainConfig) error {
+	if cfg.Model == nil {
+		return fmt.Errorf("core: nil model")
+	}
+	params := tensor.New(cfg.Model.Dim())
+	cfg.Model.Init(rng.New(cfg.Seed+7777), params)
+	_, err := store.Push(hierarchicalPSKey, params, ps.Overwrite)
+	return err
+}
+
+// groupOf finds the group containing the global rank.
+func groupOf(groups []topology.Group, rank int) (int, *topology.Group, error) {
+	for gi := range groups {
+		for _, m := range groups[gi].Members {
+			if m == rank {
+				return gi, &groups[gi], nil
+			}
+		}
+	}
+	return 0, nil, fmt.Errorf("core: rank %d not in any group", rank)
+}
+
+// RunHierarchicalWorker trains one rank of a hierarchical cluster. All
+// ranks share one mesh; each group's RNA traffic runs over a SubMesh of its
+// members, with its own controller (ctrls[gi], sized to the group). The
+// group's local rank 0 performs the PS exchange: it pushes the group's
+// parameter delta since its last pull, pulls the global model, and
+// broadcasts it within the group; every member adopts the broadcast.
+func RunHierarchicalWorker(mesh transport.Mesh, ctrls []*controller.Controller, cfg HierarchicalConfig) (*Result, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: nil store")
+	}
+	gi, group, err := groupOf(cfg.Groups, mesh.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if gi >= len(ctrls) || ctrls[gi] == nil {
+		return nil, fmt.Errorf("core: no controller for group %d", gi)
+	}
+	sub, err := transport.NewSubMesh(mesh, group.Members)
+	if err != nil {
+		return nil, err
+	}
+
+	var lastPull tensor.Vector
+	period := int64(cfg.psEvery())
+	leader := sub.Rank() == 0
+
+	post := func(k int64, mu *sync.Mutex, params tensor.Vector) error {
+		if (k+1)%period != 0 {
+			return nil
+		}
+		dim := len(params)
+		global := tensor.New(dim)
+		if leader {
+			mu.Lock()
+			snapshot := params.Clone()
+			mu.Unlock()
+			if lastPull == nil {
+				// First exchange: baseline is the shared init.
+				lastPull = tensor.New(dim)
+				cfg.Train.Model.Init(rng.New(cfg.Train.Seed+7777), lastPull)
+			}
+			delta := snapshot.Clone()
+			if err := delta.Sub(lastPull); err != nil {
+				return err
+			}
+			pulled, _, err := cfg.Store.PushPull(hierarchicalPSKey, delta, ps.Add)
+			if err != nil {
+				return err
+			}
+			copy(global, pulled)
+			lastPull = pulled
+		}
+		// In-group broadcast of the pulled global model. Tag with a
+		// distinct iteration namespace so it cannot be confused with
+		// AllReduce chunks.
+		if err := collective.Broadcast(sub, ^k, global, 0); err != nil {
+			return err
+		}
+		mu.Lock()
+		copy(params, global)
+		mu.Unlock()
+		return nil
+	}
+
+	res, err := runRNAWorker(sub, ctrls[gi], cfg.Train, post)
+	if err != nil {
+		return nil, fmt.Errorf("group %d: %w", gi, err)
+	}
+	return res, nil
+}

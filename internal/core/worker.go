@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/controller"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// TrainConfig configures one training worker on the goroutine runtime.
+type TrainConfig struct {
+	// Model is the training objective (shared read-only across workers).
+	Model model.Model
+	// Batch samples a mini-batch of example indices for one step.
+	Batch func(src *rng.Source) []int
+	// LR, Momentum and WeightDecay configure the SGD optimizer.
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// Iterations is the number of synchronizations to run.
+	Iterations int
+	// StalenessBound is the bounded-delay window η (≥ 1; default 8):
+	// compute may run at most η iterations ahead of the last completed
+	// synchronization, and the accumulator drops gradients staler than η.
+	StalenessBound int
+	// Seed derives this worker's RNG streams.
+	Seed int64
+	// SlowDown optionally injects extra compute latency per iteration
+	// for a given rank (tests and examples use it to create stragglers).
+	SlowDown func(rank, iter int) time.Duration
+}
+
+func (c *TrainConfig) validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("core: nil model")
+	}
+	if c.Batch == nil {
+		return fmt.Errorf("core: nil batch sampler")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("core: %d iterations", c.Iterations)
+	}
+	return nil
+}
+
+func (c *TrainConfig) bound() int {
+	if c.StalenessBound < 1 {
+		return 8
+	}
+	return c.StalenessBound
+}
+
+// Result reports one worker's training outcome.
+type Result struct {
+	// Params is the final parameter vector.
+	Params tensor.Vector
+	// Losses holds the batch loss observed at each local compute step.
+	Losses []float64
+	// Contributed counts synchronizations this worker fed a real
+	// gradient into; NullContribs counts the null contributions.
+	Contributed  int
+	NullContribs int
+	// Elapsed is the worker's wall-clock training time.
+	Elapsed time.Duration
+}
+
+// RunRNAWorker trains with the RNA protocol: a compute thread produces
+// gradients into an Accumulator and announces readiness to the controller;
+// a communication thread joins every partial AllReduce the controller
+// fires, contributing the staleness-weighted local reduction (or a null
+// gradient) and applying the weighted average with the Linear Scaling Rule
+// of Algorithm 2. All ranks converge on identical parameters because every
+// rank applies the same reduced update.
+func RunRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainConfig) (*Result, error) {
+	return runRNAWorker(mesh, ctrl, cfg, nil)
+}
+
+// postSyncHook runs on the communication thread after a synchronization's
+// update is applied; the hierarchical scheme uses it for the periodic PS
+// exchange. It may mutate params under mu.
+type postSyncHook func(k int64, mu *sync.Mutex, params tensor.Vector) error
+
+// runRNAWorker is RunRNAWorker with an optional post-synchronization hook.
+func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainConfig, post postSyncHook) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rank := mesh.Rank()
+	n := mesh.Size()
+	dim := cfg.Model.Dim()
+
+	acc, err := NewAccumulator(dim, cfg.bound())
+	if err != nil {
+		return nil, err
+	}
+	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	if err != nil {
+		return nil, err
+	}
+
+	src := rng.New(cfg.Seed)
+	params := tensor.New(dim)
+	cfg.Model.Init(rng.New(cfg.Seed+7777), params) // same init on all ranks
+	batchSrc := src.Split(rank + 1)
+
+	var (
+		mu      sync.Mutex // guards params, synced and aborted
+		cond    = sync.NewCond(&mu)
+		synced  = int64(-1)
+		aborted bool
+	)
+	abort := func() {
+		mu.Lock()
+		aborted = true
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	res := &Result{Losses: make([]float64, 0, cfg.Iterations)}
+	zero := tensor.New(dim)
+
+	var (
+		wg         sync.WaitGroup
+		computeErr error
+		commErr    error
+	)
+
+	// Compute thread.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		snapshot := tensor.New(dim)
+		g := tensor.New(dim)
+		for k := int64(0); k < int64(cfg.Iterations); k++ {
+			// Bounded staleness: never run more than `bound` ahead
+			// of the last completed synchronization.
+			mu.Lock()
+			for k-synced > int64(cfg.bound()) && !aborted {
+				cond.Wait()
+			}
+			if aborted {
+				mu.Unlock()
+				return
+			}
+			copy(snapshot, params)
+			mu.Unlock()
+
+			batch := cfg.Batch(batchSrc)
+			loss, err := cfg.Model.Gradient(snapshot, g, batch)
+			if err != nil {
+				computeErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+				abort()
+				return
+			}
+			if cfg.SlowDown != nil {
+				if d := cfg.SlowDown(rank, int(k)); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			res.Losses = append(res.Losses, loss)
+			if err := acc.Put(k, g); err != nil {
+				computeErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+				abort()
+				return
+			}
+			if err := ctrl.Ready(rank, k); err != nil {
+				computeErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+				abort()
+				return
+			}
+		}
+	}()
+
+	// Communication thread.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := int64(0); k < int64(cfg.Iterations); k++ {
+			fired, _ := ctrl.Await(k)
+			<-fired
+
+			contrib, ok, err := acc.Take(k)
+			if err != nil {
+				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+				abort()
+				return
+			}
+			in := zero
+			if ok {
+				in = contrib
+				res.Contributed++
+			} else {
+				res.NullContribs++
+			}
+			pr, err := collective.PartialRingAllReduce(mesh, k, in, ok)
+			if err != nil {
+				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+				abort()
+				return
+			}
+			if pr.Contributors > 0 {
+				// ḡ = W·Σg with W = 1/Σw; γ_k scaled by Σw/N.
+				pr.Sum.Scale(1 / float64(pr.Contributors))
+				scale, err := opt.LinearScale(pr.Contributors, n)
+				if err != nil {
+					commErr = err
+					abort()
+					return
+				}
+				mu.Lock()
+				if _, err := optim.Step(params, pr.Sum, scale); err != nil {
+					mu.Unlock()
+					commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+					abort()
+					return
+				}
+				synced = k
+				cond.Broadcast()
+				mu.Unlock()
+			} else {
+				mu.Lock()
+				synced = k
+				cond.Broadcast()
+				mu.Unlock()
+			}
+			if post != nil {
+				if err := post(k, &mu, params); err != nil {
+					commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+					abort()
+					return
+				}
+			}
+			if rank == 0 {
+				ctrl.Forget(k - int64(cfg.bound()) - 2)
+			}
+		}
+	}()
+
+	wg.Wait()
+	if computeErr != nil {
+		return nil, computeErr
+	}
+	if commErr != nil {
+		return nil, commErr
+	}
+	res.Params = params
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunBSPWorker trains with the Horovod-style blocking baseline: compute,
+// wait at the global barrier, fully AllReduce-average, step. It uses the
+// same controller (with the AllReady policy) and collective stack so that
+// RNA-vs-BSP comparisons isolate the synchronization discipline.
+func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rank := mesh.Rank()
+	dim := cfg.Model.Dim()
+
+	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	params := tensor.New(dim)
+	cfg.Model.Init(rng.New(cfg.Seed+7777), params) // same init on all ranks
+	batchSrc := src.Split(rank + 1)
+
+	res := &Result{Losses: make([]float64, 0, cfg.Iterations)}
+	grad := tensor.New(dim)
+	for k := int64(0); k < int64(cfg.Iterations); k++ {
+		batch := cfg.Batch(batchSrc)
+		loss, err := cfg.Model.Gradient(params, grad, batch)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+		}
+		if cfg.SlowDown != nil {
+			if d := cfg.SlowDown(rank, int(k)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		res.Losses = append(res.Losses, loss)
+		if err := ctrl.Ready(rank, k); err != nil {
+			return nil, err
+		}
+		fired, _ := ctrl.Await(k)
+		<-fired
+		if err := collective.RingAllReduce(mesh, k, grad, collective.OpAverage); err != nil {
+			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+		}
+		if _, err := optim.Step(params, grad, 1); err != nil {
+			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
+		}
+		res.Contributed++
+		if rank == 0 {
+			ctrl.Forget(k - 2)
+		}
+	}
+	res.Params = params
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/hetero"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/trainsim"
+	"repro/internal/workload"
+)
+
+// TheoryConvergence empirically checks the convergence analysis of
+// Section 5 on the noisy quadratic objective (which satisfies all of
+// Assumption 1 exactly: unbiased gradients, bounded variance, Lipschitzian
+// gradient):
+//
+//   - Theorem 5.1/5.2: the running average of E‖∇f(x_k)‖² decays like
+//     O(1/√K) — the K-fold increase in iterations should shrink the
+//     average squared gradient norm by ≈ √K.
+//   - "Independent staleness": after sufficiently many iterations the rate
+//     is independent of the staleness window η — doubling η must not
+//     change the achieved gradient norm materially.
+func TheoryConvergence(opts Options) (*Report, error) {
+	rep := newReport("theory-convergence", "Convergence bound of Section 5 on the noisy quadratic")
+	src := rng.New(opts.seed())
+	quad, err := model.NewQuadratic(src, 32, 25, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	// The quadratic ignores batch contents, but the simulator needs a
+	// dataset for its batch-index plumbing.
+	ds, err := data.Blobs(src, 2, 2, 4, 0.1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Theorem 5.2 sets the constant step length γ ∝ 1/sqrt(K); scale the
+	// base rate accordingly so the O(1/sqrt(K)) rate is visible instead
+	// of the constant-step noise floor.
+	baseIters := opts.iters(200)
+	runRNA := func(iters, bound int) (*trainsim.Result, error) {
+		lr := 0.05 / math.Sqrt(float64(iters)/float64(baseIters))
+		cfg := trainsim.Config{
+			Strategy:       trainsim.RNA,
+			Workers:        8,
+			Model:          quad,
+			Dataset:        ds,
+			BatchSize:      1,
+			LR:             lr,
+			Step:           workload.Balanced{Base: 50 * time.Millisecond, Jitter: 0.1},
+			Spec:           workload.ResNet56(),
+			Comm:           workload.DefaultComm(),
+			Injector:       hetero.UniformRandom{Lo: 0, Hi: 30 * time.Millisecond},
+			StalenessBound: bound,
+			MaxIterations:  iters,
+			EvalEvery:      1 << 30, // final eval only
+			Seed:           opts.seed(),
+		}
+		return trainsim.Run(cfg)
+	}
+
+	// gradNormSq returns ‖∇f(x)‖² at the (noise-free) objective.
+	gradNormSq := func(params tensor.Vector) float64 {
+		var s float64
+		for i, a := range quad.Curvature {
+			g := a * (params[i] - quad.Optimum[i])
+			s += g * g
+		}
+		return s
+	}
+
+	var body strings.Builder
+	body.WriteString("Noisy quadratic (dim 32, condition 25, sigma 0.6), 8 workers, RNA.\n\n")
+
+	// (a) Rate: K vs running ‖∇f‖² with γ ∝ 1/sqrt(K) per Theorem 5.2.
+	body.WriteString("(a) O(1/sqrt(K)) rate — final squared gradient norm vs iteration budget:\n")
+	headers := []string{"K", "‖∇f(x_K)‖²", "x sqrt(K)"}
+	var table [][]string
+	base := baseIters
+	for _, mult := range []int{1, 4, 16} {
+		k := base * mult
+		res, err := runRNA(k, 0)
+		if err != nil {
+			return nil, err
+		}
+		g2 := gradNormSq(res.FinalParams)
+		table = append(table, []string{
+			fmt.Sprint(k), fmt.Sprintf("%.4g", g2), fmt.Sprintf("%.4g", g2*math.Sqrt(float64(k))),
+		})
+		rep.Metrics[fmt.Sprintf("gradsq/K%d", k)] = g2
+	}
+	body.WriteString(renderTable(headers, table))
+	body.WriteString("\nThe sqrt(K)-scaled column stabilizing (rather than growing) is the O(1/sqrt(K)) signature.\n\n")
+
+	// (b) Staleness independence: η sweep at fixed K.
+	body.WriteString("(b) staleness independence — same budget, growing staleness window η:\n")
+	headers = []string{"η", "‖∇f(x_K)‖²", "virtual time"}
+	table = nil
+	k := base * 4
+	for _, bound := range []int{2, 4, 8, 16} {
+		res, err := runRNA(k, bound)
+		if err != nil {
+			return nil, err
+		}
+		g2 := gradNormSq(res.FinalParams)
+		table = append(table, []string{
+			fmt.Sprint(bound), fmt.Sprintf("%.4g", g2), fmtDur(res.VirtualTime),
+		})
+		rep.Metrics[fmt.Sprintf("gradsq/eta%d", bound)] = g2
+	}
+	body.WriteString(renderTable(headers, table))
+	body.WriteString("\nTheorem 5.2: once K ≳ (η+1)², the achieved gradient norm does not depend on η.\n")
+	rep.Body = body.String()
+	return rep, nil
+}

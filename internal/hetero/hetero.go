@@ -1,0 +1,162 @@
+// Package hetero injects the heterogeneity the paper studies: dynamic
+// per-iteration slowdowns (multi-tenant interference, following Hop's
+// methodology as cited in §7.1), deterministic per-node slowdowns (hardware
+// differences), mixed two-group clusters (§8.1), and transient spikes.
+package hetero
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Injector produces an extra delay for a given worker at a given iteration.
+// Implementations must be deterministic with respect to the rng.Source they
+// are given.
+type Injector interface {
+	// Delay returns the additional compute delay for worker w at
+	// iteration k.
+	Delay(src *rng.Source, w, k int) time.Duration
+	// Describe returns a short human-readable summary.
+	Describe() string
+}
+
+// None injects no delay (the homogeneous baseline).
+type None struct{}
+
+var _ Injector = None{}
+
+// Delay implements Injector.
+func (None) Delay(*rng.Source, int, int) time.Duration { return 0 }
+
+// Describe implements Injector.
+func (None) Describe() string { return "none" }
+
+// UniformRandom injects an i.i.d. uniform delay in [Lo, Hi) per worker per
+// iteration — the "system delay randomly, which ranges from 0 to 50ms" setup
+// of §8.1.
+type UniformRandom struct {
+	Lo, Hi time.Duration
+}
+
+var _ Injector = UniformRandom{}
+
+// Delay implements Injector.
+func (u UniformRandom) Delay(src *rng.Source, _, _ int) time.Duration {
+	return time.Duration(src.Uniform(float64(u.Lo), float64(u.Hi)))
+}
+
+// Describe implements Injector.
+func (u UniformRandom) Describe() string {
+	return fmt.Sprintf("uniform[%v,%v)", u.Lo, u.Hi)
+}
+
+// PerNode injects a fixed deterministic delay per worker — the Fig. 1
+// motivation setup injects 10 ms and 40 ms on workers 2 and 3.
+type PerNode struct {
+	Delays []time.Duration
+}
+
+var _ Injector = PerNode{}
+
+// Delay implements Injector.
+func (p PerNode) Delay(_ *rng.Source, w, _ int) time.Duration {
+	if w < 0 || w >= len(p.Delays) {
+		return 0
+	}
+	return p.Delays[w]
+}
+
+// Describe implements Injector.
+func (p PerNode) Describe() string { return fmt.Sprintf("per-node%v", p.Delays) }
+
+// MixedGroups models the "mixed heterogeneity" cluster of §8.1: workers in
+// SlowSet get a uniform delay from the slow band (50–100 ms in the paper) on
+// top of everyone's fast band (0–50 ms).
+type MixedGroups struct {
+	FastLo, FastHi time.Duration
+	SlowLo, SlowHi time.Duration
+	// SlowSet marks workers belonging to group B (the slow group).
+	SlowSet map[int]bool
+}
+
+var _ Injector = MixedGroups{}
+
+// NewMixedGroups builds the paper's configuration: the second half of the
+// workers form the slow group, fast band [0,50ms), slow band adds [50,100ms).
+func NewMixedGroups(workers int) MixedGroups {
+	slow := make(map[int]bool, workers/2)
+	for w := workers / 2; w < workers; w++ {
+		slow[w] = true
+	}
+	return MixedGroups{
+		FastLo: 0, FastHi: 50 * time.Millisecond,
+		SlowLo: 50 * time.Millisecond, SlowHi: 100 * time.Millisecond,
+		SlowSet: slow,
+	}
+}
+
+// Delay implements Injector.
+func (m MixedGroups) Delay(src *rng.Source, w, _ int) time.Duration {
+	d := time.Duration(src.Uniform(float64(m.FastLo), float64(m.FastHi)))
+	if m.SlowSet[w] {
+		d += time.Duration(src.Uniform(float64(m.SlowLo), float64(m.SlowHi)))
+	}
+	return d
+}
+
+// Describe implements Injector.
+func (m MixedGroups) Describe() string {
+	return fmt.Sprintf("mixed(fast=[%v,%v) slow=+[%v,%v) %d slow workers)",
+		m.FastLo, m.FastHi, m.SlowLo, m.SlowHi, len(m.SlowSet))
+}
+
+// TransientSpikes injects occasional large delays: with probability P a
+// worker's iteration is slowed by a uniform draw from [Lo, Hi). It models
+// co-located analytics bursts.
+type TransientSpikes struct {
+	P      float64
+	Lo, Hi time.Duration
+}
+
+var _ Injector = TransientSpikes{}
+
+// Delay implements Injector.
+func (t TransientSpikes) Delay(src *rng.Source, _, _ int) time.Duration {
+	if !src.Bernoulli(t.P) {
+		return 0
+	}
+	return time.Duration(src.Uniform(float64(t.Lo), float64(t.Hi)))
+}
+
+// Describe implements Injector.
+func (t TransientSpikes) Describe() string {
+	return fmt.Sprintf("spikes(p=%.2f, [%v,%v))", t.P, t.Lo, t.Hi)
+}
+
+// Stack composes injectors additively.
+type Stack []Injector
+
+var _ Injector = Stack{}
+
+// Delay implements Injector.
+func (s Stack) Delay(src *rng.Source, w, k int) time.Duration {
+	var total time.Duration
+	for _, inj := range s {
+		total += inj.Delay(src, w, k)
+	}
+	return total
+}
+
+// Describe implements Injector.
+func (s Stack) Describe() string {
+	out := "stack("
+	for i, inj := range s {
+		if i > 0 {
+			out += "+"
+		}
+		out += inj.Describe()
+	}
+	return out + ")"
+}

@@ -1,0 +1,154 @@
+package hetero
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestNone(t *testing.T) {
+	src := rng.New(1)
+	var inj None
+	for i := 0; i < 10; i++ {
+		if d := inj.Delay(src, i, i); d != 0 {
+			t.Fatalf("None delay = %v", d)
+		}
+	}
+	if inj.Describe() != "none" {
+		t.Errorf("Describe = %q", inj.Describe())
+	}
+}
+
+func TestUniformRandomRange(t *testing.T) {
+	src := rng.New(2)
+	inj := UniformRandom{Lo: 0, Hi: 50 * time.Millisecond}
+	var max time.Duration
+	for i := 0; i < 5000; i++ {
+		d := inj.Delay(src, 0, i)
+		if d < 0 || d >= 50*time.Millisecond {
+			t.Fatalf("delay %v out of [0,50ms)", d)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max < 40*time.Millisecond {
+		t.Errorf("max delay %v suspiciously small for uniform[0,50ms)", max)
+	}
+	if !strings.Contains(inj.Describe(), "uniform") {
+		t.Errorf("Describe = %q", inj.Describe())
+	}
+}
+
+func TestPerNode(t *testing.T) {
+	inj := PerNode{Delays: []time.Duration{0, 10 * time.Millisecond, 40 * time.Millisecond}}
+	src := rng.New(3)
+	if d := inj.Delay(src, 0, 0); d != 0 {
+		t.Errorf("w0 delay = %v, want 0", d)
+	}
+	if d := inj.Delay(src, 1, 5); d != 10*time.Millisecond {
+		t.Errorf("w1 delay = %v, want 10ms", d)
+	}
+	if d := inj.Delay(src, 2, 9); d != 40*time.Millisecond {
+		t.Errorf("w2 delay = %v, want 40ms", d)
+	}
+	// Out-of-range workers get zero rather than panicking.
+	if d := inj.Delay(src, 7, 0); d != 0 {
+		t.Errorf("out-of-range worker delay = %v", d)
+	}
+	if d := inj.Delay(src, -1, 0); d != 0 {
+		t.Errorf("negative worker delay = %v", d)
+	}
+}
+
+func TestMixedGroups(t *testing.T) {
+	inj := NewMixedGroups(8)
+	if len(inj.SlowSet) != 4 {
+		t.Fatalf("slow set size = %d, want 4", len(inj.SlowSet))
+	}
+	for w := 0; w < 4; w++ {
+		if inj.SlowSet[w] {
+			t.Errorf("worker %d should be fast", w)
+		}
+	}
+	for w := 4; w < 8; w++ {
+		if !inj.SlowSet[w] {
+			t.Errorf("worker %d should be slow", w)
+		}
+	}
+	src := rng.New(4)
+	var fastSum, slowSum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f := inj.Delay(src, 0, i)
+		s := inj.Delay(src, 5, i)
+		if f < 0 || f >= 50*time.Millisecond {
+			t.Fatalf("fast delay %v out of band", f)
+		}
+		if s < 50*time.Millisecond || s >= 150*time.Millisecond {
+			t.Fatalf("slow delay %v out of band", s)
+		}
+		fastSum += f
+		slowSum += s
+	}
+	if slowSum/n-fastSum/n < 40*time.Millisecond {
+		t.Errorf("slow group mean (%v) not clearly above fast mean (%v)", slowSum/n, fastSum/n)
+	}
+	if !strings.Contains(inj.Describe(), "mixed") {
+		t.Errorf("Describe = %q", inj.Describe())
+	}
+}
+
+func TestTransientSpikes(t *testing.T) {
+	inj := TransientSpikes{P: 0.1, Lo: 100 * time.Millisecond, Hi: 200 * time.Millisecond}
+	src := rng.New(5)
+	spikes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := inj.Delay(src, 0, i)
+		if d != 0 {
+			spikes++
+			if d < 100*time.Millisecond || d >= 200*time.Millisecond {
+				t.Fatalf("spike %v out of band", d)
+			}
+		}
+	}
+	rate := float64(spikes) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Errorf("spike rate %.3f, want ~0.10", rate)
+	}
+}
+
+func TestStackAdds(t *testing.T) {
+	s := Stack{
+		PerNode{Delays: []time.Duration{5 * time.Millisecond}},
+		PerNode{Delays: []time.Duration{7 * time.Millisecond}},
+	}
+	src := rng.New(6)
+	if d := s.Delay(src, 0, 0); d != 12*time.Millisecond {
+		t.Errorf("stack delay = %v, want 12ms", d)
+	}
+	if !strings.Contains(s.Describe(), "+") {
+		t.Errorf("Describe = %q", s.Describe())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []time.Duration {
+		src := rng.New(99)
+		inj := UniformRandom{Lo: 0, Hi: 50 * time.Millisecond}
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = inj.Delay(src, 0, i)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

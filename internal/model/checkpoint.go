@@ -1,0 +1,132 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint is a serialized model snapshot: the flat parameter vector plus
+// the training step it was taken at.
+type Checkpoint struct {
+	// Step is the synchronization count at snapshot time.
+	Step int64
+	// Params is the parameter vector.
+	Params tensor.Vector
+}
+
+// checkpointMagic identifies the file format ("RNAC" + version 1).
+var checkpointMagic = [8]byte{'R', 'N', 'A', 'C', 'K', 'P', 'T', 1}
+
+// maxCheckpointParams bounds decoding against corrupt length prefixes
+// (1 GiB of float64 parameters).
+const maxCheckpointParams = 128 << 20
+
+// WriteCheckpoint serializes a checkpoint to w: magic(8) step(8) len(8)
+// params(len*8), all little-endian.
+func WriteCheckpoint(w io.Writer, c Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(c.Step))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(c.Params)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var buf [8]byte
+	for _, p := range c.Params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserializes a checkpoint from r.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Checkpoint{}, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return Checkpoint{}, errors.New("checkpoint: bad magic (not a checkpoint file)")
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Checkpoint{}, fmt.Errorf("checkpoint: read header: %w", err)
+	}
+	c := Checkpoint{Step: int64(binary.LittleEndian.Uint64(hdr[0:]))}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > maxCheckpointParams {
+		return Checkpoint{}, fmt.Errorf("checkpoint: %d params exceeds limit", n)
+	}
+	c.Params = tensor.New(int(n))
+	raw := make([]byte, 8*1024)
+	for i := 0; i < int(n); {
+		want := (int(n) - i) * 8
+		if want > len(raw) {
+			want = len(raw)
+		}
+		if _, err := io.ReadFull(r, raw[:want]); err != nil {
+			return Checkpoint{}, fmt.Errorf("checkpoint: read params: %w", err)
+		}
+		for off := 0; off < want; off += 8 {
+			c.Params[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			i++
+		}
+	}
+	return c, nil
+}
+
+// SaveCheckpoint writes a checkpoint atomically to path (write to a
+// temporary file in the same directory, then rename).
+func SaveCheckpoint(path string, c Checkpoint) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := WriteCheckpoint(tmp, c); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ReadCheckpoint(bufio.NewReader(f))
+}
+
+// dirOf returns the directory containing path ("." when path has none).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

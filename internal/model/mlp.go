@@ -1,0 +1,196 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MLP is a one-hidden-layer tanh network with a softmax output — the
+// non-convex objective standing in for the paper's deep models. Parameter
+// layout: W1 (H rows of F) ++ b1 (H) ++ W2 (C rows of H) ++ b2 (C).
+type MLP struct {
+	ds     *data.Dataset
+	hidden int
+}
+
+var _ Classifier = (*MLP)(nil)
+
+// NewMLP binds an MLP with the given hidden width to a classification
+// dataset.
+func NewMLP(ds *data.Dataset, hidden int) (*MLP, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("model: empty dataset")
+	}
+	if ds.Classes < 2 {
+		return nil, fmt.Errorf("model: %d classes", ds.Classes)
+	}
+	if hidden < 1 {
+		return nil, fmt.Errorf("model: hidden width %d", hidden)
+	}
+	return &MLP{ds: ds, hidden: hidden}, nil
+}
+
+// Dim implements Model.
+func (m *MLP) Dim() int {
+	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
+	return h*f + h + c*h + c
+}
+
+// Hidden returns the hidden-layer width.
+func (m *MLP) Hidden() int { return m.hidden }
+
+// slices carves the flat parameter vector into layer views.
+func (m *MLP) slices(params tensor.Vector) (w1, b1, w2, b2 tensor.Vector) {
+	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
+	o := 0
+	w1 = params[o : o+h*f]
+	o += h * f
+	b1 = params[o : o+h]
+	o += h
+	w2 = params[o : o+c*h]
+	o += c * h
+	b2 = params[o : o+c]
+	return w1, b1, w2, b2
+}
+
+// forward computes hidden activations and logits for one example.
+func (m *MLP) forward(params tensor.Vector, x tensor.Vector, hid, logits []float64) {
+	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
+	w1, b1, w2, b2 := m.slices(params)
+	for j := 0; j < h; j++ {
+		s := b1[j]
+		row := w1[j*f : (j+1)*f]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		hid[j] = math.Tanh(s)
+	}
+	for k := 0; k < c; k++ {
+		s := b2[k]
+		row := w2[k*h : (k+1)*h]
+		for j := 0; j < h; j++ {
+			s += row[j] * hid[j]
+		}
+		logits[k] = s
+	}
+}
+
+// Loss implements Model.
+func (m *MLP) Loss(params tensor.Vector, batch []int) (float64, error) {
+	if len(params) != m.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, errors.New("model: empty batch")
+	}
+	hid := make([]float64, m.hidden)
+	probs := make([]float64, m.ds.Classes)
+	var loss float64
+	for _, idx := range batch {
+		if idx < 0 || idx >= m.ds.Len() {
+			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
+		}
+		ex := m.ds.Examples[idx]
+		m.forward(params, ex.X, hid, probs)
+		softmaxInPlace(probs)
+		p := probs[ex.Label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(len(batch)), nil
+}
+
+// Gradient implements Model (exact backprop).
+func (m *MLP) Gradient(params, grad tensor.Vector, batch []int) (float64, error) {
+	if len(params) != m.Dim() || len(grad) != m.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, errors.New("model: empty batch")
+	}
+	grad.Zero()
+	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
+	_, _, w2, _ := m.slices(params)
+	gw1, gb1, gw2, gb2 := m.slices(grad)
+	hid := make([]float64, h)
+	probs := make([]float64, c)
+	deltaH := make([]float64, h)
+	inv := 1 / float64(len(batch))
+	var loss float64
+	for _, idx := range batch {
+		if idx < 0 || idx >= m.ds.Len() {
+			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
+		}
+		ex := m.ds.Examples[idx]
+		m.forward(params, ex.X, hid, probs)
+		softmaxInPlace(probs)
+		p := probs[ex.Label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+
+		for j := range deltaH {
+			deltaH[j] = 0
+		}
+		for k := 0; k < c; k++ {
+			d := probs[k]
+			if k == ex.Label {
+				d--
+			}
+			row := gw2[k*h : (k+1)*h]
+			w2row := w2[k*h : (k+1)*h]
+			for j := 0; j < h; j++ {
+				row[j] += d * hid[j] * inv
+				deltaH[j] += d * w2row[j]
+			}
+			gb2[k] += d * inv
+		}
+		for j := 0; j < h; j++ {
+			dh := deltaH[j] * (1 - hid[j]*hid[j])
+			row := gw1[j*f : (j+1)*f]
+			for i, xi := range ex.X {
+				row[i] += dh * xi * inv
+			}
+			gb1[j] += dh * inv
+		}
+	}
+	return loss * inv, nil
+}
+
+// Init implements Model: Xavier-style scaled Gaussians.
+func (m *MLP) Init(src *rng.Source, params tensor.Vector) {
+	f, h := m.ds.Features, m.hidden
+	w1, b1, w2, b2 := m.slices(params)
+	s1 := 1 / math.Sqrt(float64(f))
+	for i := range w1 {
+		w1[i] = src.Normal(0, s1)
+	}
+	b1.Zero()
+	s2 := 1 / math.Sqrt(float64(h))
+	for i := range w2 {
+		w2[i] = src.Normal(0, s2)
+	}
+	b2.Zero()
+}
+
+// Accuracy implements Classifier.
+func (m *MLP) Accuracy(params tensor.Vector, batch []int, k int) (float64, float64, error) {
+	if len(params) != m.Dim() {
+		return 0, 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, 0, errors.New("model: empty batch")
+	}
+	hid := make([]float64, m.hidden)
+	return accuracy(batch, m.ds, k, func(x tensor.Vector, scores []float64) {
+		m.forward(params, x, hid, scores)
+	})
+}

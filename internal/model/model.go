@@ -1,0 +1,201 @@
+// Package model provides the trainable models used to measure statistical
+// efficiency: a noisy quadratic (analytically tractable, used by the
+// convergence tests), linear regression, multinomial logistic regression,
+// and a one-hidden-layer MLP (non-convex, the stand-in for deep networks).
+// All models expose exact gradients over mini-batches; the test suite
+// verifies them against finite differences.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ErrBadBatch is returned when a batch index is out of range.
+var ErrBadBatch = errors.New("model: bad batch index")
+
+// Model is a differentiable training objective over a dataset.
+type Model interface {
+	// Dim returns the parameter dimensionality.
+	Dim() int
+	// Loss returns the mean loss of params over the given example
+	// indices of the dataset bound at construction.
+	Loss(params tensor.Vector, batch []int) (float64, error)
+	// Gradient writes the mean gradient over batch into grad (which
+	// must have length Dim) and returns the batch loss.
+	Gradient(params, grad tensor.Vector, batch []int) (float64, error)
+	// Init writes a reproducible initial parameter vector into params.
+	Init(src *rng.Source, params tensor.Vector)
+}
+
+// Classifier is a Model that can score classification accuracy.
+type Classifier interface {
+	Model
+	// Accuracy returns top-1 and top-k accuracy of params over batch.
+	Accuracy(params tensor.Vector, batch []int, k int) (top1, topK float64, err error)
+}
+
+// Quadratic is the noisy strongly convex objective
+// f(x) = ½ Σ aᵢ(xᵢ−x*ᵢ)²; Gradient adds N(0, noise²) per coordinate,
+// modeling mini-batch gradient variance σ² with an analytic optimum.
+// Batches are ignored.
+type Quadratic struct {
+	// Curvature holds the positive diagonal aᵢ.
+	Curvature tensor.Vector
+	// Optimum is x*.
+	Optimum tensor.Vector
+	// Noise is the per-coordinate gradient noise stddev.
+	Noise float64
+
+	src *rng.Source
+}
+
+var _ Model = (*Quadratic)(nil)
+
+// NewQuadratic builds a Quadratic with curvatures log-spaced in
+// [1, condition] (condition number controls hardness) and a random optimum.
+func NewQuadratic(src *rng.Source, dim int, condition, noise float64) (*Quadratic, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("model: quadratic dim %d", dim)
+	}
+	if condition < 1 {
+		return nil, fmt.Errorf("model: condition %v < 1", condition)
+	}
+	q := &Quadratic{
+		Curvature: tensor.New(dim),
+		Optimum:   tensor.New(dim),
+		Noise:     noise,
+		src:       src.Split(1),
+	}
+	for i := range q.Curvature {
+		frac := 0.0
+		if dim > 1 {
+			frac = float64(i) / float64(dim-1)
+		}
+		q.Curvature[i] = math.Pow(condition, frac)
+		q.Optimum[i] = src.Normal(0, 1)
+	}
+	return q, nil
+}
+
+// Dim implements Model.
+func (q *Quadratic) Dim() int { return len(q.Curvature) }
+
+// Loss implements Model. The batch is ignored.
+func (q *Quadratic) Loss(params tensor.Vector, _ []int) (float64, error) {
+	if len(params) != q.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	var loss float64
+	for i, a := range q.Curvature {
+		d := params[i] - q.Optimum[i]
+		loss += 0.5 * a * d * d
+	}
+	return loss, nil
+}
+
+// Gradient implements Model: ∇f + noise.
+func (q *Quadratic) Gradient(params, grad tensor.Vector, _ []int) (float64, error) {
+	if len(params) != q.Dim() || len(grad) != q.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	var loss float64
+	for i, a := range q.Curvature {
+		d := params[i] - q.Optimum[i]
+		loss += 0.5 * a * d * d
+		grad[i] = a*d + q.src.Normal(0, q.Noise)
+	}
+	return loss, nil
+}
+
+// Init implements Model: a unit Gaussian start away from the optimum.
+func (q *Quadratic) Init(src *rng.Source, params tensor.Vector) {
+	for i := range params {
+		params[i] = q.Optimum[i] + src.Normal(0, 2)
+	}
+}
+
+// LinearRegression is mean-squared-error linear regression over a Dataset
+// (params = weights ++ bias).
+type LinearRegression struct {
+	ds *data.Dataset
+}
+
+var _ Model = (*LinearRegression)(nil)
+
+// NewLinearRegression binds the model to a regression dataset.
+func NewLinearRegression(ds *data.Dataset) (*LinearRegression, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("model: empty dataset")
+	}
+	return &LinearRegression{ds: ds}, nil
+}
+
+// Dim implements Model.
+func (m *LinearRegression) Dim() int { return m.ds.Features + 1 }
+
+func (m *LinearRegression) predict(params tensor.Vector, x tensor.Vector) float64 {
+	y := params[m.ds.Features]
+	for j, xj := range x {
+		y += params[j] * xj
+	}
+	return y
+}
+
+// Loss implements Model: ½·mean squared error.
+func (m *LinearRegression) Loss(params tensor.Vector, batch []int) (float64, error) {
+	if len(params) != m.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, errors.New("model: empty batch")
+	}
+	var loss float64
+	for _, idx := range batch {
+		if idx < 0 || idx >= m.ds.Len() {
+			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
+		}
+		ex := m.ds.Examples[idx]
+		r := m.predict(params, ex.X) - ex.Target
+		loss += 0.5 * r * r
+	}
+	return loss / float64(len(batch)), nil
+}
+
+// Gradient implements Model.
+func (m *LinearRegression) Gradient(params, grad tensor.Vector, batch []int) (float64, error) {
+	if len(params) != m.Dim() || len(grad) != m.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, errors.New("model: empty batch")
+	}
+	grad.Zero()
+	var loss float64
+	inv := 1 / float64(len(batch))
+	for _, idx := range batch {
+		if idx < 0 || idx >= m.ds.Len() {
+			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
+		}
+		ex := m.ds.Examples[idx]
+		r := m.predict(params, ex.X) - ex.Target
+		loss += 0.5 * r * r
+		for j, xj := range ex.X {
+			grad[j] += r * xj * inv
+		}
+		grad[m.ds.Features] += r * inv
+	}
+	return loss * inv, nil
+}
+
+// Init implements Model.
+func (m *LinearRegression) Init(src *rng.Source, params tensor.Vector) {
+	for i := range params {
+		params[i] = src.Normal(0, 0.1)
+	}
+}

@@ -1,0 +1,136 @@
+// Package opt implements the SGD optimizer the paper's setups use
+// (momentum + weight decay, Section 7.2) and the learning-rate schedules:
+// step decay and the Linear Scaling Rule that RNA applies per iteration
+// when only part of the workers contribute (Algorithm 2: γ_k = Σw·γ).
+package opt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum and weight decay:
+//
+//	v ← μ·v + g + λ·x
+//	x ← x − γ_eff·v
+//
+// where γ_eff = γ·scale and scale carries the Linear Scaling Rule factor.
+type SGD struct {
+	// LR is the base learning rate γ for a single contributing worker.
+	LR float64
+	// Momentum is μ (0 disables momentum).
+	Momentum float64
+	// WeightDecay is λ.
+	WeightDecay float64
+	// Schedule optionally multiplies the learning rate per step.
+	Schedule Schedule
+
+	velocity tensor.Vector
+	step     int
+}
+
+// NewSGD returns an SGD optimizer for dim-dimensional parameters.
+func NewSGD(dim int, lr, momentum, weightDecay float64) (*SGD, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("opt: dim %d", dim)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("opt: learning rate %v", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("opt: momentum %v", momentum)
+	}
+	if weightDecay < 0 {
+		return nil, fmt.Errorf("opt: weight decay %v", weightDecay)
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: tensor.New(dim)}, nil
+}
+
+// Step applies one update with gradient grad and the given Linear Scaling
+// factor (1 for a full-participation update; Σw/N under RNA's partial
+// collectives). It returns the effective learning rate used.
+func (o *SGD) Step(params, grad tensor.Vector, scale float64) (float64, error) {
+	if len(params) != len(o.velocity) || len(grad) != len(o.velocity) {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if scale < 0 {
+		return 0, fmt.Errorf("opt: scale %v", scale)
+	}
+	lr := o.LR * scale
+	if o.Schedule != nil {
+		lr *= o.Schedule.Factor(o.step)
+	}
+	o.step++
+	if scale == 0 {
+		// Nothing contributed; the iteration is a no-op (but still
+		// advances the schedule clock).
+		return 0, nil
+	}
+	for i := range params {
+		v := o.Momentum*o.velocity[i] + grad[i] + o.WeightDecay*params[i]
+		o.velocity[i] = v
+		params[i] -= lr * v
+	}
+	return lr, nil
+}
+
+// StepCount returns the number of Step calls so far.
+func (o *SGD) StepCount() int { return o.step }
+
+// Reset zeroes the optimizer state (velocity and step counter).
+func (o *SGD) Reset() {
+	o.velocity.Zero()
+	o.step = 0
+}
+
+// Schedule scales the learning rate as training progresses.
+type Schedule interface {
+	// Factor returns the multiplier applied at the given step.
+	Factor(step int) float64
+}
+
+// StepDecay multiplies the rate by Factor each time the step count crosses
+// a boundary — the paper's ResNet50 schedule decays to 0.1× at epochs
+// 30/60/80.
+type StepDecay struct {
+	Boundaries []int
+	Decay      float64
+}
+
+var _ Schedule = StepDecay{}
+
+// Factor implements Schedule.
+func (s StepDecay) Factor(step int) float64 {
+	f := 1.0
+	for _, b := range s.Boundaries {
+		if step >= b {
+			f *= s.Decay
+		}
+	}
+	return f
+}
+
+// Constant is the identity schedule.
+type Constant struct{}
+
+var _ Schedule = Constant{}
+
+// Factor implements Schedule.
+func (Constant) Factor(int) float64 { return 1 }
+
+// LinearScale returns the Linear Scaling Rule factor for an update in which
+// `contributors` of n workers supplied gradients: γ_k = Σw·γ with γ the
+// per-worker base rate means the factor relative to full participation is
+// contributors/n. It errors on nonsensical inputs.
+func LinearScale(contributors, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("opt: %d workers", n)
+	}
+	if contributors < 0 || contributors > n {
+		return 0, errors.New("opt: contributors out of range")
+	}
+	return float64(contributors) / float64(n), nil
+}

@@ -1,0 +1,205 @@
+// Package ps implements the parameter-server substrate used by RNA's
+// hierarchical synchronization (Section 4). It follows the ps-lite model
+// the paper builds on: a logically separate store of named parameter
+// shards with push / pull / push-pull operations. The store only performs
+// summation and model averaging — exactly the role the paper assigns it —
+// while the AllReduce groups do the heavy lifting.
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ErrUnknownKey is returned when pulling a key that was never pushed.
+var ErrUnknownKey = errors.New("ps: unknown key")
+
+// UpdateMode selects how a push combines with the stored value.
+type UpdateMode int
+
+// Push combination modes.
+const (
+	// Overwrite replaces the stored value.
+	Overwrite UpdateMode = iota + 1
+	// Add accumulates into the stored value (gradient aggregation).
+	Add
+	// Average sets stored = (stored + pushed)/2, the asynchronous model
+	// averaging the hierarchical scheme performs between a group's
+	// parameters and the global ones.
+	Average
+)
+
+// Store is a sharded, thread-safe key-value parameter store. Keys identify
+// parameter shards (e.g. one per AllReduce group or one per tensor).
+type Store struct {
+	shards []shard
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	value   tensor.Vector
+	version int64
+	// pushes counts updates ever applied to the key.
+	pushes int64
+}
+
+// NewStore returns a Store with the given shard count (rounded up to 1).
+// Sharding spreads lock contention when many groups push concurrently.
+func NewStore(shards int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Store{shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	// FNV-1a, inlined to avoid the hash.Hash allocation on the hot path.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// Push applies value to key under the given mode and returns the key's new
+// version. The first push to a key stores a copy regardless of mode.
+func (s *Store) Push(key string, value tensor.Vector, mode UpdateMode) (int64, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &entry{value: value.Clone()}
+		sh.entries[key] = e
+		e.version = 1
+		e.pushes = 1
+		return e.version, nil
+	}
+	switch mode {
+	case Overwrite:
+		if err := e.value.CopyFrom(value); err != nil {
+			return 0, fmt.Errorf("push %q: %w", key, err)
+		}
+	case Add:
+		if err := e.value.Add(value); err != nil {
+			return 0, fmt.Errorf("push %q: %w", key, err)
+		}
+	case Average:
+		if len(e.value) != len(value) {
+			return 0, fmt.Errorf("push %q: %w", key, tensor.ErrShapeMismatch)
+		}
+		for i := range e.value {
+			e.value[i] = (e.value[i] + value[i]) / 2
+		}
+	default:
+		return 0, fmt.Errorf("ps: unknown update mode %d", mode)
+	}
+	e.version++
+	e.pushes++
+	return e.version, nil
+}
+
+// Pull returns a copy of the key's value and its version.
+func (s *Store) Pull(key string) (tensor.Vector, int64, error) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("pull %q: %w", key, ErrUnknownKey)
+	}
+	return e.value.Clone(), e.version, nil
+}
+
+// PushPull atomically applies value under mode and returns the resulting
+// value — the zero-copy push+pull round trip of ps-lite, and the operation
+// RNA's group initiators invoke (Section 6, PSPushPull).
+func (s *Store) PushPull(key string, value tensor.Vector, mode UpdateMode) (tensor.Vector, int64, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &entry{value: value.Clone(), version: 1, pushes: 1}
+		sh.entries[key] = e
+		return e.value.Clone(), e.version, nil
+	}
+	switch mode {
+	case Overwrite:
+		if err := e.value.CopyFrom(value); err != nil {
+			return nil, 0, fmt.Errorf("push-pull %q: %w", key, err)
+		}
+	case Add:
+		if err := e.value.Add(value); err != nil {
+			return nil, 0, fmt.Errorf("push-pull %q: %w", key, err)
+		}
+	case Average:
+		if len(e.value) != len(value) {
+			return nil, 0, fmt.Errorf("push-pull %q: %w", key, tensor.ErrShapeMismatch)
+		}
+		for i := range e.value {
+			e.value[i] = (e.value[i] + value[i]) / 2
+		}
+	default:
+		return nil, 0, fmt.Errorf("ps: unknown update mode %d", mode)
+	}
+	e.version++
+	e.pushes++
+	return e.value.Clone(), e.version, nil
+}
+
+// Version returns the key's current version (0 if absent).
+func (s *Store) Version(key string) int64 {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.entries[key]; ok {
+		return e.version
+	}
+	return 0
+}
+
+// Pushes returns the total number of pushes applied to key (0 if absent).
+func (s *Store) Pushes(key string) int64 {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.entries[key]; ok {
+		return e.pushes
+	}
+	return 0
+}
+
+// Keys returns all stored keys in unspecified order.
+func (s *Store) Keys() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.entries {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Delete removes a key; deleting an absent key is a no-op.
+func (s *Store) Delete(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.entries, key)
+}

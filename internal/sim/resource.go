@@ -1,0 +1,105 @@
+package sim
+
+import "time"
+
+// Mutex is a virtual-time FIFO lock. AD-PSGD uses it to model the atomic
+// pairwise parameter averaging the paper describes: if a worker's chosen
+// neighbor is already mid-averaging, the requester queues and the wait time
+// shows up as synchronization overhead in the simulation.
+type Mutex struct {
+	eng     *Engine
+	held    bool
+	waiters []func()
+	// waitTotal accumulates time spent queued, for overhead accounting.
+	waitTotal time.Duration
+}
+
+// NewMutex returns an unlocked virtual mutex bound to eng.
+func NewMutex(eng *Engine) *Mutex {
+	return &Mutex{eng: eng}
+}
+
+// Held reports whether the mutex is currently locked.
+func (m *Mutex) Held() bool { return m.held }
+
+// QueueLen returns the number of queued acquirers.
+func (m *Mutex) QueueLen() int { return len(m.waiters) }
+
+// WaitTotal returns the cumulative virtual time acquirers spent queued.
+func (m *Mutex) WaitTotal() time.Duration { return m.waitTotal }
+
+// Acquire requests the lock; acquired runs (as an engine event) once the
+// lock is granted. Grant order is FIFO.
+func (m *Mutex) Acquire(acquired func()) {
+	if !m.held {
+		m.held = true
+		m.eng.After(0, acquired)
+		return
+	}
+	start := m.eng.Now()
+	m.waiters = append(m.waiters, func() {
+		m.waitTotal += m.eng.Now() - start
+		acquired()
+	})
+}
+
+// Release releases the lock, granting it to the oldest waiter if any.
+// Releasing an unheld mutex is a no-op.
+func (m *Mutex) Release() {
+	if !m.held {
+		return
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.eng.After(0, next)
+}
+
+// TryAcquire acquires the lock immediately if free and reports success. It
+// never queues.
+func (m *Mutex) TryAcquire() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Semaphore is a counting resource in virtual time, granted FIFO.
+type Semaphore struct {
+	eng     *Engine
+	free    int
+	waiters []func()
+}
+
+// NewSemaphore returns a semaphore with n initially free slots.
+func NewSemaphore(eng *Engine, n int) *Semaphore {
+	return &Semaphore{eng: eng, free: n}
+}
+
+// Acquire takes one slot; acquired runs once granted.
+func (s *Semaphore) Acquire(acquired func()) {
+	if s.free > 0 {
+		s.free--
+		s.eng.After(0, acquired)
+		return
+	}
+	s.waiters = append(s.waiters, acquired)
+}
+
+// Release frees one slot, granting it to the oldest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.After(0, next)
+		return
+	}
+	s.free++
+}
+
+// Free returns the number of free slots.
+func (s *Semaphore) Free() int { return s.free }

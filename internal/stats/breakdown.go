@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Breakdown accounts one worker's time across the categories the paper's
+// Fig. 1 reports: computation versus waiting (communication plus the time
+// blocked at the synchronization barrier).
+type Breakdown struct {
+	Compute time.Duration
+	Comm    time.Duration
+	Wait    time.Duration
+}
+
+// Total returns the accounted wall-clock span.
+func (b Breakdown) Total() time.Duration { return b.Compute + b.Comm + b.Wait }
+
+// ComputeFrac returns the compute share of the total, 0 when empty.
+func (b Breakdown) ComputeFrac() float64 { return b.frac(b.Compute) }
+
+// CommFrac returns the communication share of the total.
+func (b Breakdown) CommFrac() float64 { return b.frac(b.Comm) }
+
+// WaitFrac returns the barrier-wait share of the total.
+func (b Breakdown) WaitFrac() float64 { return b.frac(b.Wait) }
+
+func (b Breakdown) frac(d time.Duration) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d) / float64(t)
+}
+
+// Add merges another breakdown into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Compute += other.Compute
+	b.Comm += other.Comm
+	b.Wait += other.Wait
+}
+
+// String renders e.g. "compute 62.0% comm 10.0% wait 28.0% (total 1.2s)".
+func (b Breakdown) String() string {
+	return fmt.Sprintf("compute %.1f%% comm %.1f%% wait %.1f%% (total %v)",
+		b.ComputeFrac()*100, b.CommFrac()*100, b.WaitFrac()*100, b.Total())
+}
+
+// Table renders a set of named breakdowns as an aligned ASCII table — the
+// textual analogue of the paper's stacked-bar Fig. 1.
+func Table(names []string, rows []Breakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %10s %10s %12s\n", "worker", "compute%", "comm%", "wait%", "total")
+	for i, r := range rows {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&sb, "%-12s %9.1f%% %9.1f%% %9.1f%% %12v\n",
+			name, r.ComputeFrac()*100, r.CommFrac()*100, r.WaitFrac()*100, r.Total())
+	}
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import "fmt"
+
+// Chunk is a view into a contiguous range of a Vector. Ring AllReduce sends
+// chunk i to the left neighbor at step i; views avoid copying in the reduce
+// phase.
+type Chunk struct {
+	// Index is the chunk's position in the partition.
+	Index int
+	// Offset is the start element within the parent vector.
+	Offset int
+	// Data aliases the parent vector's storage.
+	Data Vector
+}
+
+// Partition splits v into n contiguous chunks whose sizes differ by at most
+// one element (the first len(v)%n chunks are one element longer). Chunks
+// alias v: reducing into a chunk mutates v. n must be positive; chunks may
+// be empty when n > len(v).
+func Partition(v Vector, n int) ([]Chunk, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tensor: partition into %d chunks", n)
+	}
+	chunks := make([]Chunk, n)
+	base := len(v) / n
+	rem := len(v) % n
+	off := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunks[i] = Chunk{Index: i, Offset: off, Data: v[off : off+size]}
+		off += size
+	}
+	return chunks, nil
+}
+
+// ChunkBounds returns the [start, end) element range of chunk i when a
+// vector of length total is partitioned into n chunks, without materializing
+// the views. It mirrors Partition exactly.
+func ChunkBounds(total, n, i int) (start, end int, err error) {
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("tensor: chunk %d of %d", i, n)
+	}
+	base := total / n
+	rem := total % n
+	if i < rem {
+		start = i * (base + 1)
+		end = start + base + 1
+		return start, end, nil
+	}
+	start = rem*(base+1) + (i-rem)*base
+	end = start + base
+	return start, end, nil
+}

@@ -1,0 +1,215 @@
+// Package tensor provides the dense vector math used throughout the RNA
+// library: gradients and model parameters are flat float64 vectors, and the
+// ring AllReduce operates on contiguous chunks of them.
+//
+// The package is deliberately small and allocation-conscious: every hot-path
+// operation has an in-place form, and chunking never copies data.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShapeMismatch is returned when two vectors that must have equal length
+// do not.
+var ErrShapeMismatch = errors.New("tensor: shape mismatch")
+
+// Vector is a dense one-dimensional tensor. It is the unit of exchange in
+// all collectives: a gradient, a model, or a chunk of either.
+type Vector []float64
+
+// New returns a zeroed vector of length n.
+func New(n int) Vector {
+	return make(Vector, n)
+}
+
+// FromSlice copies data into a freshly allocated Vector, so later mutation
+// of the argument does not alias the result.
+func FromSlice(data []float64) Vector {
+	v := make(Vector, len(data))
+	copy(v, data)
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// CopyFrom copies src into v. The lengths must match.
+func (v Vector) CopyFrom(src Vector) error {
+	if len(v) != len(src) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(src))
+	}
+	copy(v, src)
+	return nil
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to c.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Add accumulates other into v element-wise (v += other).
+func (v Vector) Add(other Vector) error {
+	if len(v) != len(other) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(other))
+	}
+	for i, x := range other {
+		v[i] += x
+	}
+	return nil
+}
+
+// Sub subtracts other from v element-wise (v -= other).
+func (v Vector) Sub(other Vector) error {
+	if len(v) != len(other) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(other))
+	}
+	for i, x := range other {
+		v[i] -= x
+	}
+	return nil
+}
+
+// Scale multiplies v by c in place.
+func (v Vector) Scale(c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Axpy computes v += a*x, the classic BLAS primitive used by every SGD
+// update in the repository.
+func (v Vector) Axpy(a float64, x Vector) error {
+	if len(v) != len(x) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(x))
+	}
+	for i, xi := range x {
+		v[i] += a * xi
+	}
+	return nil
+}
+
+// Dot returns the inner product of v and other.
+func (v Vector) Dot(other Vector) (float64, error) {
+	if len(v) != len(other) {
+		return 0, fmt.Errorf("%w: a %d, b %d", ErrShapeMismatch, len(v), len(other))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * other[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean (l2) norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of v.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Equal reports whether v and other have the same length and every element
+// differs by at most tol.
+func (v Vector) Equal(other Vector, tol float64) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i, x := range v {
+		if math.Abs(x-other[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every element of v is finite (no NaN or Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mean computes the element-wise mean of vs into a new vector. All vectors
+// must share one length; an empty input is an error.
+func Mean(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("tensor: mean of zero vectors")
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		if err := out.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	out.Scale(1 / float64(len(vs)))
+	return out, nil
+}
+
+// WeightedMean computes Σ w_i·v_i / Σ w_i into a new vector. Weights must be
+// non-negative with a positive sum. This is the staleness-weighted local
+// reduction g' = Σ[t−(k−τ)+1]·g_t / Σ[t−(k−τ)+1] from §3.3 of the paper.
+func WeightedMean(vs []Vector, ws []float64) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("tensor: weighted mean of zero vectors")
+	}
+	if len(vs) != len(ws) {
+		return nil, fmt.Errorf("%w: %d vectors, %d weights", ErrShapeMismatch, len(vs), len(ws))
+	}
+	var total float64
+	for _, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("tensor: negative weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("tensor: weights sum to zero")
+	}
+	out := New(len(vs[0]))
+	for i, v := range vs {
+		if err := out.Axpy(ws[i]/total, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestPartitionByObservationsEmpty(t *testing.T) {
+	if _, err := PartitionByObservations(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := PartitionByObservations([][]time.Duration{{}}); err == nil {
+		t.Error("worker without observations should error")
+	}
+}
+
+// homogeneousObs generates iid observations for n workers.
+func homogeneousObs(n, window int, mean, spread time.Duration, seed int64) [][]time.Duration {
+	src := rng.New(seed)
+	obs := make([][]time.Duration, n)
+	for w := range obs {
+		s := src.Split(w)
+		obs[w] = make([]time.Duration, window)
+		for i := range obs[w] {
+			obs[w][i] = mean + time.Duration(s.Uniform(-float64(spread), float64(spread)))
+		}
+	}
+	return obs
+}
+
+func TestObservationsHomogeneousOneGroup(t *testing.T) {
+	obs := homogeneousObs(8, 32, 140*time.Millisecond, 30*time.Millisecond, 1)
+	groups, err := PartitionByObservations(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("homogeneous cluster split into %d groups", len(groups))
+	}
+}
+
+func TestObservationsLongTailNotSplit(t *testing.T) {
+	// LSTM-like: identical lognormal distributions with huge variance
+	// must not be split on sampling noise.
+	src := rng.New(3)
+	obs := make([][]time.Duration, 8)
+	for w := range obs {
+		s := src.Split(w)
+		obs[w] = make([]time.Duration, 32)
+		for i := range obs[w] {
+			ms := s.LogNormalFromMoments(610, 380)
+			obs[w][i] = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	groups, err := PartitionByObservations(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("iid long-tail cluster split into %d groups", len(groups))
+	}
+}
+
+func TestObservationsMixedSplitsAtBoundary(t *testing.T) {
+	// The paper's mixed cluster: half the workers carry a persistent
+	// +50-100ms slowdown on ~165ms iterations.
+	src := rng.New(5)
+	obs := make([][]time.Duration, 8)
+	for w := range obs {
+		s := src.Split(w)
+		obs[w] = make([]time.Duration, 32)
+		for i := range obs[w] {
+			d := 140*time.Millisecond + time.Duration(s.Uniform(0, 50e6))
+			if w >= 4 {
+				d += time.Duration(s.Uniform(50e6, 100e6))
+			}
+			obs[w][i] = d
+		}
+	}
+	groups, err := PartitionByObservations(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("mixed cluster split into %d groups: %+v", len(groups), groups)
+	}
+	for _, w := range groups[0].Members {
+		if w >= 4 {
+			t.Errorf("slow worker %d landed in the fast group", w)
+		}
+	}
+	for _, w := range groups[1].Members {
+		if w < 4 {
+			t.Errorf("fast worker %d landed in the slow group", w)
+		}
+	}
+}
+
+func TestObservationsThreeBands(t *testing.T) {
+	obs := make([][]time.Duration, 6)
+	bands := []time.Duration{50, 50, 200, 200, 800, 800}
+	for w := range obs {
+		obs[w] = make([]time.Duration, 16)
+		for i := range obs[w] {
+			obs[w][i] = bands[w] * time.Millisecond
+		}
+	}
+	groups, err := PartitionByObservations(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("three-band cluster split into %d groups: %+v", len(groups), groups)
+	}
+}
+
+func TestObservationsSingleton(t *testing.T) {
+	groups, err := PartitionByObservations([][]time.Duration{{time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Size() != 1 {
+		t.Fatalf("singleton = %+v", groups)
+	}
+}
+
+func TestObservationsCoverAllWorkers(t *testing.T) {
+	src := rng.New(7)
+	obs := make([][]time.Duration, 12)
+	for w := range obs {
+		s := src.Split(w)
+		obs[w] = make([]time.Duration, 8)
+		for i := range obs[w] {
+			base := time.Duration(50+100*(w%3)) * time.Millisecond
+			obs[w][i] = base + time.Duration(s.Uniform(0, 5e6))
+		}
+	}
+	groups, err := PartitionByObservations(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 12)
+	for _, g := range groups {
+		for _, w := range g.Members {
+			if seen[w] {
+				t.Fatalf("worker %d in two groups", w)
+			}
+			seen[w] = true
+		}
+	}
+	for w, s := range seen {
+		if !s {
+			t.Errorf("worker %d missing from partition", w)
+		}
+	}
+}

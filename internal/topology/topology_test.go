@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRingNeighbors(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	cases := []struct{ i, left, right int }{
+		{0, 1, 3}, {1, 2, 0}, {2, 3, 1}, {3, 0, 2},
+	}
+	for _, c := range cases {
+		if got := r.Left(c.i); got != c.left {
+			t.Errorf("Left(%d) = %d, want %d", c.i, got, c.left)
+		}
+		if got := r.Right(c.i); got != c.right {
+			t.Errorf("Right(%d) = %d, want %d", c.i, got, c.right)
+		}
+	}
+}
+
+func TestRingSingleton(t *testing.T) {
+	r, err := NewRing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Left(0) != 0 || r.Right(0) != 0 {
+		t.Error("singleton ring neighbors should be self")
+	}
+}
+
+func TestRingInvalid(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("NewRing(0) should error")
+	}
+	if _, err := NewRing(-3); err == nil {
+		t.Error("NewRing(-3) should error")
+	}
+}
+
+// Property: following Left around the ring visits every worker exactly once.
+func TestQuickRingIsHamiltonianCycle(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		r, err := NewRing(n)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		cur := 0
+		for i := 0; i < n; i++ {
+			if seen[cur] {
+				return false
+			}
+			seen[cur] = true
+			cur = r.Left(cur)
+		}
+		return cur == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Left and Right are inverse.
+func TestQuickRingInverse(t *testing.T) {
+	f := func(nRaw, iRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		i := int(iRaw) % n
+		r, err := NewRing(n)
+		if err != nil {
+			return false
+		}
+		return r.Right(r.Left(i)) == i && r.Left(r.Right(i)) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionHomogeneousSingleGroup(t *testing.T) {
+	times := []time.Duration{100, 105, 98, 102, 101}
+	for i := range times {
+		times[i] *= time.Millisecond
+	}
+	groups, err := PartitionBySpeed(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("homogeneous cluster split into %d groups", len(groups))
+	}
+	if groups[0].Size() != 5 {
+		t.Errorf("group size = %d, want 5", groups[0].Size())
+	}
+}
+
+func TestPartitionMixedTwoGroups(t *testing.T) {
+	// Paper's mixed cluster: fast workers ~100ms, slow ~100+300ms.
+	times := []time.Duration{
+		100 * time.Millisecond, 110 * time.Millisecond, 105 * time.Millisecond,
+		400 * time.Millisecond, 410 * time.Millisecond, 395 * time.Millisecond,
+	}
+	groups, err := PartitionBySpeed(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("mixed cluster split into %d groups, want 2: %+v", len(groups), groups)
+	}
+	fast, slow := groups[0], groups[1]
+	wantFast := []int{0, 1, 2}
+	wantSlow := []int{3, 4, 5}
+	for i, id := range wantFast {
+		if fast.Members[i] != id {
+			t.Errorf("fast group = %v, want %v", fast.Members, wantFast)
+			break
+		}
+	}
+	for i, id := range wantSlow {
+		if slow.Members[i] != id {
+			t.Errorf("slow group = %v, want %v", slow.Members, wantSlow)
+			break
+		}
+	}
+}
+
+func TestPartitionRecursesThreeBands(t *testing.T) {
+	times := []time.Duration{
+		10 * time.Millisecond, 11 * time.Millisecond,
+		100 * time.Millisecond, 105 * time.Millisecond,
+		1000 * time.Millisecond, 1010 * time.Millisecond,
+	}
+	groups, err := PartitionBySpeed(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("three-band cluster split into %d groups: %+v", len(groups), groups)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if _, err := PartitionBySpeed(nil); !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("empty partition error = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestPartitionSingleton(t *testing.T) {
+	groups, err := PartitionBySpeed([]time.Duration{time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Size() != 1 {
+		t.Errorf("singleton partition = %+v", groups)
+	}
+}
+
+// Property: the partition always covers every worker exactly once, and
+// within every group ζ ≤ v (post-condition of Section 4's algorithm) unless
+// the group is a singleton.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		times := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			times[i] = time.Duration(int(v)+1) * time.Millisecond
+		}
+		groups, err := PartitionBySpeed(times)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(times))
+		for _, g := range groups {
+			if g.Size() == 0 {
+				return false
+			}
+			var sum, min, max time.Duration
+			min, max = times[g.Members[0]], times[g.Members[0]]
+			for _, id := range g.Members {
+				if id < 0 || id >= len(times) || seen[id] {
+					return false
+				}
+				seen[id] = true
+				tt := times[id]
+				sum += tt
+				if tt < min {
+					min = tt
+				}
+				if tt > max {
+					max = tt
+				}
+			}
+			mean := sum / time.Duration(g.Size())
+			if g.Size() > 1 && max-min > mean {
+				return false
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeedsHierarchy(t *testing.T) {
+	if NeedsHierarchy([]time.Duration{100 * time.Millisecond, 110 * time.Millisecond}) {
+		t.Error("near-homogeneous cluster should not need hierarchy")
+	}
+	if !NeedsHierarchy([]time.Duration{100 * time.Millisecond, 400 * time.Millisecond}) {
+		t.Error("3x gap cluster should need hierarchy")
+	}
+	if NeedsHierarchy([]time.Duration{time.Second}) {
+		t.Error("single worker never needs hierarchy")
+	}
+	if NeedsHierarchy(nil) {
+		t.Error("empty cluster never needs hierarchy")
+	}
+}

@@ -1,0 +1,163 @@
+// Package trace records per-worker execution spans (compute, communication,
+// barrier wait, null contribution) during simulated training, and renders
+// them as ASCII timelines — the textual analogue of the paper's Fig. 3
+// (blocking vs non-blocking AllReduce) and Fig. 4 (cross-iteration RNA).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind int
+
+// Span kinds.
+const (
+	// SpanCompute is forward+backward computation of one batch.
+	SpanCompute Kind = iota + 1
+	// SpanComm is participation in a collective or PS operation.
+	SpanComm
+	// SpanWait is time blocked at a barrier or staleness bound.
+	SpanWait
+	// SpanNull marks a null contribution to a partial AllReduce.
+	SpanNull
+)
+
+// rune per kind in the ASCII rendering.
+func (k Kind) rune() byte {
+	switch k {
+	case SpanCompute:
+		return '='
+	case SpanComm:
+		return '#'
+	case SpanWait:
+		return '.'
+	case SpanNull:
+		return 'o'
+	default:
+		return '?'
+	}
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SpanCompute:
+		return "compute"
+	case SpanComm:
+		return "comm"
+	case SpanWait:
+		return "wait"
+	case SpanNull:
+		return "null"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Span is one interval of a worker's activity.
+type Span struct {
+	Worker int
+	Kind   Kind
+	Start  time.Duration
+	End    time.Duration
+	// Iter tags the training iteration the span belongs to.
+	Iter int64
+}
+
+// Trace is an append-only collection of spans. The zero value is usable.
+type Trace struct {
+	spans []Span
+}
+
+// Add records one span; spans with End < Start are normalized to empty.
+func (t *Trace) Add(s Span) {
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Spans returns a copy of all recorded spans.
+func (t *Trace) Spans() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of spans.
+func (t *Trace) Len() int { return len(t.spans) }
+
+// Horizon returns the latest span end.
+func (t *Trace) Horizon() time.Duration {
+	var h time.Duration
+	for _, s := range t.spans {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// ByWorker returns the spans of one worker sorted by start time.
+func (t *Trace) ByWorker(w int) []Span {
+	var out []Span
+	for _, s := range t.spans {
+		if s.Worker == w {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Render draws an ASCII timeline of all workers up to `until` (0 means the
+// trace horizon) using `width` character columns. Later spans overwrite
+// earlier ones in a cell; the legend is appended.
+func (t *Trace) Render(width int, until time.Duration) string {
+	if width <= 0 {
+		width = 80
+	}
+	if until <= 0 {
+		until = t.Horizon()
+	}
+	if until <= 0 {
+		return "(empty trace)\n"
+	}
+	maxWorker := -1
+	for _, s := range t.spans {
+		if s.Worker > maxWorker {
+			maxWorker = s.Worker
+		}
+	}
+	var sb strings.Builder
+	for w := 0; w <= maxWorker; w++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range t.ByWorker(w) {
+			lo := int(float64(s.Start) / float64(until) * float64(width))
+			hi := int(float64(s.End) / float64(until) * float64(width))
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= width {
+				hi = width - 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = s.Kind.rune()
+			}
+		}
+		fmt.Fprintf(&sb, "w%-3d |%s|\n", w, string(row))
+	}
+	fmt.Fprintf(&sb, "      0%s%v\n", strings.Repeat(" ", width-len(fmt.Sprint(until))), until)
+	sb.WriteString("      = compute   # comm   . wait   o null-contribution\n")
+	return sb.String()
+}

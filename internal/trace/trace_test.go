@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{SpanCompute, SpanComm, SpanWait, SpanNull} {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d String = %q", int(k), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(42).String(), "kind(") {
+		t.Error("unknown kind should format as kind(n)")
+	}
+}
+
+func TestAddNormalizesBackwardSpans(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 10, End: 5})
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].End != spans[0].Start {
+		t.Errorf("backward span not normalized: %+v", spans)
+	}
+}
+
+func TestHorizonAndLen(t *testing.T) {
+	var tr Trace
+	if tr.Horizon() != 0 {
+		t.Error("empty trace horizon should be 0")
+	}
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 0, End: 10 * time.Millisecond})
+	tr.Add(Span{Worker: 1, Kind: SpanComm, Start: 5 * time.Millisecond, End: 25 * time.Millisecond})
+	if tr.Horizon() != 25*time.Millisecond {
+		t.Errorf("Horizon = %v", tr.Horizon())
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestByWorkerSorted(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 1, Kind: SpanComm, Start: 20, End: 30})
+	tr.Add(Span{Worker: 1, Kind: SpanCompute, Start: 0, End: 10})
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 5, End: 15})
+	got := tr.ByWorker(1)
+	if len(got) != 2 {
+		t.Fatalf("ByWorker(1) = %d spans", len(got))
+	}
+	if got[0].Kind != SpanCompute || got[1].Kind != SpanComm {
+		t.Errorf("spans not sorted by start: %+v", got)
+	}
+	if len(tr.ByWorker(7)) != 0 {
+		t.Error("unknown worker should have no spans")
+	}
+}
+
+func TestSpansIsACopy(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 0, End: 1})
+	spans := tr.Spans()
+	spans[0].Worker = 99
+	if tr.Spans()[0].Worker != 0 {
+		t.Error("Spans exposed internal state")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 0, End: 50 * time.Millisecond})
+	tr.Add(Span{Worker: 0, Kind: SpanComm, Start: 50 * time.Millisecond, End: 100 * time.Millisecond})
+	tr.Add(Span{Worker: 1, Kind: SpanWait, Start: 0, End: 100 * time.Millisecond})
+	out := tr.Render(40, 0)
+	if !strings.Contains(out, "w0") || !strings.Contains(out, "w1") {
+		t.Errorf("render missing worker rows:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("render missing span glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") && !strings.Contains(out, "compute") {
+		t.Errorf("render missing legend:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var tr Trace
+	if out := tr.Render(40, 0); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 0, Kind: SpanNull, Start: 0, End: time.Millisecond})
+	out := tr.Render(0, 0) // default width
+	if !strings.Contains(out, "o") {
+		t.Errorf("null span not rendered:\n%s", out)
+	}
+}
+
+func TestRenderClampsOutOfRange(t *testing.T) {
+	var tr Trace
+	tr.Add(Span{Worker: 0, Kind: SpanCompute, Start: 0, End: time.Second})
+	// Render a shorter window; span must clamp, not panic.
+	out := tr.Render(20, 100*time.Millisecond)
+	if !strings.Contains(out, "=") {
+		t.Errorf("clamped span missing:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+package trainsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// probeRPCCost is the scheduler-side cost of issuing and handling one
+// additional probe RPC per iteration.
+const probeRPCCost = 2 * time.Millisecond
+
+// ResponseTimes runs the Fig. 10 microbenchmark: a simulated cluster of n
+// nodes executes iters rounds of a synthetic workload whose per-node task
+// times carry randomized skew in [lo, hi). Each round the scheduler probes
+// `choices` random nodes and proceeds when the fastest probed node
+// finishes; the recorded response time is how long the round waited.
+//
+// load models the queueing effect of Section 3.1 (expected waiting time
+// 1/(1−ρ) when the system carries workload): with probability load a
+// probed node is busy with backlogged tasks, so its reply is delayed by a
+// geometric number of additional task times. One choice is the purely
+// random initiator; two is the paper's power-of-two-choices configuration,
+// which almost always finds an unloaded node.
+func ResponseTimes(n, choices, iters int, lo, hi time.Duration, load float64, seed int64) (*stats.Sample, error) {
+	if n < 1 || choices < 1 || iters < 1 {
+		return nil, fmt.Errorf("trainsim: response microbench n=%d q=%d iters=%d", n, choices, iters)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("trainsim: skew band [%v,%v)", lo, hi)
+	}
+	if load < 0 || load >= 1 {
+		return nil, fmt.Errorf("trainsim: load %v outside [0,1)", load)
+	}
+	root := rng.New(seed)
+	taskSrcs := make([]*rng.Source, n)
+	for i := range taskSrcs {
+		taskSrcs[i] = root.Split(100 + i)
+	}
+	probeSrc := root.Split(0)
+
+	// Each extra probe is one more lightweight RPC the scheduler must
+	// fan out and process — the messaging overhead that makes heavy
+	// oversampling counterproductive (Section 8.4).
+	probeCost := probeRPCCost * time.Duration(choices-1)
+
+	sample := stats.NewSample(iters)
+	for k := 0; k < iters; k++ {
+		best := time.Duration(-1)
+		probes := probeSrc.SampleDistinct(n, choices)
+		// Every node draws its round state (keeping per-node streams
+		// aligned across q values); only probed nodes can reply.
+		for i, src := range taskSrcs {
+			d := time.Duration(src.Uniform(float64(lo), float64(hi)))
+			// Geometric backlog: each queued task delays the reply by
+			// another skewed task time.
+			for load > 0 && src.Bernoulli(load) {
+				d += time.Duration(src.Uniform(float64(lo), float64(hi)))
+			}
+			for _, p := range probes {
+				if p == i && (best < 0 || d < best) {
+					best = d
+				}
+			}
+		}
+		sample.Add(float64(best + probeCost))
+	}
+	return sample, nil
+}
+
+// ProbeSweep runs ResponseTimes for each probe count and returns the
+// box-plot summaries — the series of Fig. 10.
+func ProbeSweep(n, iters int, choices []int, lo, hi time.Duration, load float64, seed int64) (map[int]stats.BoxPlot, error) {
+	out := make(map[int]stats.BoxPlot, len(choices))
+	for _, q := range choices {
+		s, err := ResponseTimes(n, q, iters, lo, hi, load, seed)
+		if err != nil {
+			return nil, err
+		}
+		box, err := s.Box()
+		if err != nil {
+			return nil, err
+		}
+		out[q] = box
+	}
+	return out, nil
+}

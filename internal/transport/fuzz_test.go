@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage feeds arbitrary bytes to the wire decoder: it must never
+// panic and never allocate unboundedly, only return messages or errors.
+func FuzzReadMessage(f *testing.F) {
+	// Seed with valid encodings and near-valid corruptions.
+	for _, m := range []Message{
+		{Type: MsgChunk, Iter: 1, Chunk: 2, Payload: []float64{1, 2, 3}},
+		{Type: MsgBroadcast},
+		{Type: MsgControl, Iter: -9, Payload: []float64{0.5}},
+	} {
+		buf, err := Encode(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		if len(buf) > 4 {
+			f.Add(buf[:len(buf)-3])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip.
+		out, err := Encode(nil, msg)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		back, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Type != msg.Type || back.Iter != msg.Iter || back.Chunk != msg.Chunk ||
+			len(back.Payload) != len(msg.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, msg)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+// Package transport provides reliable, ordered point-to-point messaging
+// between the ranks of a training job. Two implementations are provided: an
+// in-memory mesh (goroutines + channels) for single-process clusters and a
+// TCP mesh (net) for multi-process deployments. Both satisfy the Mesh
+// interface consumed by the collective layer.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType distinguishes the wire messages of the collective protocols.
+type MsgType uint8
+
+// Message kinds. Start at 1 so the zero value is invalid.
+const (
+	// MsgChunk carries a gradient chunk during reduce-scatter/allgather.
+	MsgChunk MsgType = iota + 1
+	// MsgBroadcast carries a full tensor during a broadcast.
+	MsgBroadcast
+	// MsgControl carries small control payloads (activations, acks).
+	MsgControl
+)
+
+// Message is the unit of exchange on a Mesh.
+type Message struct {
+	// Type is the message kind.
+	Type MsgType
+	// From is the sender's rank.
+	From int32
+	// To is the receiver's rank.
+	To int32
+	// Iter tags the training iteration the message belongs to, so
+	// cross-iteration traffic cannot be confused.
+	Iter int64
+	// Chunk is the ring chunk index for MsgChunk traffic.
+	Chunk int32
+	// Payload carries tensor data.
+	Payload []float64
+}
+
+const headerBytes = 1 + 4 + 4 + 8 + 4 + 4 // type, from, to, iter, chunk, payload len
+
+// MaxPayloadElems bounds a single message's payload to guard decoders
+// against corrupt or hostile length prefixes (128 MiB of float64s).
+const MaxPayloadElems = 16 << 20
+
+// ErrPayloadTooLarge is returned when encoding or decoding a message whose
+// payload exceeds MaxPayloadElems.
+var ErrPayloadTooLarge = errors.New("transport: payload too large")
+
+// Encode appends the wire form of m to buf and returns the extended slice.
+// The format is little-endian: type(1) from(4) to(4) iter(8) chunk(4)
+// len(4) payload(len*8).
+func Encode(buf []byte, m Message) ([]byte, error) {
+	if len(m.Payload) > MaxPayloadElems {
+		return nil, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, len(m.Payload))
+	}
+	need := headerBytes + 8*len(m.Payload)
+	off := len(buf)
+	if cap(buf)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+need]
+	b := buf[off:]
+	b[0] = byte(m.Type)
+	binary.LittleEndian.PutUint32(b[1:], uint32(m.From))
+	binary.LittleEndian.PutUint32(b[5:], uint32(m.To))
+	binary.LittleEndian.PutUint64(b[9:], uint64(m.Iter))
+	binary.LittleEndian.PutUint32(b[17:], uint32(m.Chunk))
+	binary.LittleEndian.PutUint32(b[21:], uint32(len(m.Payload)))
+	p := b[25:]
+	for i, f := range m.Payload {
+		binary.LittleEndian.PutUint64(p[i*8:], math.Float64bits(f))
+	}
+	return buf, nil
+}
+
+// WriteMessage writes one encoded message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := Encode(nil, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one message from r. It returns io.EOF unchanged on a
+// clean end-of-stream before any header byte.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("transport: read header: %w", err)
+	}
+	m := Message{
+		Type:  MsgType(hdr[0]),
+		From:  int32(binary.LittleEndian.Uint32(hdr[1:])),
+		To:    int32(binary.LittleEndian.Uint32(hdr[5:])),
+		Iter:  int64(binary.LittleEndian.Uint64(hdr[9:])),
+		Chunk: int32(binary.LittleEndian.Uint32(hdr[17:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[21:])
+	if n > MaxPayloadElems {
+		return Message{}, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
+	}
+	if n > 0 {
+		raw := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return Message{}, fmt.Errorf("transport: read payload: %w", err)
+		}
+		m.Payload = make([]float64, n)
+		for i := range m.Payload {
+			m.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// dialTimeout bounds connection establishment to a peer.
+const dialTimeout = 10 * time.Second
+
+// TCPMesh is a Mesh over real TCP connections: one full-duplex connection
+// per peer pair, pairwise established with a rank handshake. It supports
+// genuine multi-process deployment; NewTCPCluster wires a whole cluster on
+// localhost for tests and examples.
+type TCPMesh struct {
+	rank int
+	size int
+
+	// conns[j] is the connection to rank j (nil for self).
+	conns []net.Conn
+	// sendMu[j] serializes writers on conns[j].
+	sendMu []sync.Mutex
+	// inbox[j] receives messages read off the wire from rank j.
+	inbox []*chanQueue
+
+	readers sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Mesh = (*TCPMesh)(nil)
+
+// DialMesh joins a TCP mesh as `rank`. addrs lists every rank's listen
+// address; ln must already be listening on addrs[rank]. Each rank dials
+// every higher rank and accepts from every lower rank, exchanging a
+// four-byte rank handshake.
+func DialMesh(rank int, addrs []string, ln net.Listener) (*TCPMesh, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("transport: rank %d of %d", rank, size)
+	}
+	m := &TCPMesh{
+		rank:   rank,
+		size:   size,
+		conns:  make([]net.Conn, size),
+		sendMu: make([]sync.Mutex, size),
+		inbox:  make([]*chanQueue, size),
+	}
+	for j := range m.inbox {
+		m.inbox[j] = newChanQueue()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	// Dial higher ranks.
+	for j := rank + 1; j < size; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addrs[j], dialTimeout)
+			if err != nil {
+				fail(fmt.Errorf("dial rank %d at %s: %w", j, addrs[j], err))
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				_ = conn.Close()
+				fail(fmt.Errorf("handshake with rank %d: %w", j, err))
+				return
+			}
+			m.conns[j] = conn
+		}()
+	}
+	// Accept lower ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < rank; accepted++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				fail(fmt.Errorf("accept: %w", err))
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				_ = conn.Close()
+				fail(fmt.Errorf("read handshake: %w", err))
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer < 0 || peer >= rank || m.conns[peer] != nil {
+				_ = conn.Close()
+				fail(fmt.Errorf("bad handshake rank %d", peer))
+				return
+			}
+			m.conns[peer] = conn
+		}
+	}()
+	wg.Wait()
+	if firstErr != nil {
+		_ = m.Close()
+		return nil, firstErr
+	}
+
+	for j, conn := range m.conns {
+		if conn == nil {
+			continue
+		}
+		j, conn := j, conn
+		m.readers.Add(1)
+		go func() {
+			defer m.readers.Done()
+			m.readLoop(j, conn)
+		}()
+	}
+	return m, nil
+}
+
+// readLoop pumps messages from one peer connection into its inbox queue
+// until the connection or mesh closes.
+func (m *TCPMesh) readLoop(peer int, conn net.Conn) {
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			// EOF or a closed connection ends the stream; close the
+			// peer queue so blocked Recv calls observe ErrClosed.
+			m.inbox[peer].close()
+			return
+		}
+		if m.inbox[peer].push(msg) != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Mesh.
+func (m *TCPMesh) Rank() int { return m.rank }
+
+// Size implements Mesh.
+func (m *TCPMesh) Size() int { return m.size }
+
+// Send implements Mesh.
+func (m *TCPMesh) Send(to int, msg Message) error {
+	if to < 0 || to >= m.size {
+		return fmt.Errorf("transport: send to rank %d of %d", to, m.size)
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	msg.From = int32(m.rank)
+	msg.To = int32(to)
+	if to == m.rank {
+		// Mirror the wire path's copy semantics for loopback delivery.
+		if msg.Payload != nil {
+			p := make([]float64, len(msg.Payload))
+			copy(p, msg.Payload)
+			msg.Payload = p
+		}
+		return m.inbox[m.rank].push(msg)
+	}
+	conn := m.conns[to]
+	if conn == nil {
+		return fmt.Errorf("transport: no connection to rank %d", to)
+	}
+	m.sendMu[to].Lock()
+	defer m.sendMu[to].Unlock()
+	return WriteMessage(conn, msg)
+}
+
+// Recv implements Mesh.
+func (m *TCPMesh) Recv(from int) (Message, error) {
+	if from < 0 || from >= m.size {
+		return Message{}, fmt.Errorf("transport: recv from rank %d of %d", from, m.size)
+	}
+	return m.inbox[from].pop()
+}
+
+// Close implements Mesh.
+func (m *TCPMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, conn := range m.conns {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}
+	for _, q := range m.inbox {
+		q.close()
+	}
+	m.readers.Wait()
+	return nil
+}
+
+// NewTCPCluster starts size TCP mesh endpoints on localhost ephemeral ports
+// and fully connects them. It is the in-process harness used by tests and
+// the tcpcluster example; real deployments call DialMesh with their own
+// address book.
+func NewTCPCluster(size int) ([]*TCPMesh, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: cluster of %d ranks", size)
+	}
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := 0; i < size; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	meshes := make([]*TCPMesh, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			meshes[i], errs[i] = DialMesh(i, addrs, listeners[i])
+		}()
+	}
+	wg.Wait()
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	if err := errors.Join(errs...); err != nil {
+		for _, m := range meshes {
+			if m != nil {
+				_ = m.Close()
+			}
+		}
+		return nil, err
+	}
+	return meshes, nil
+}

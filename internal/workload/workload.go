@@ -1,0 +1,210 @@
+// Package workload models the deep-learning jobs the paper evaluates as
+// cost models: each model contributes a parameter count (which determines
+// AllReduce message sizes) and a per-batch compute-time distribution (which
+// determines who straggles). The distributions are calibrated to the
+// statistics the paper reports — e.g. the UCF101/LSTM batch times of Fig. 2
+// have mean 1219 ms, standard deviation 760 ms, and range 156–8000 ms.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ModelSpec describes one neural network as seen by the synchronization
+// layer: how many parameters it ships per AllReduce and how long a training
+// step takes on the reference accelerator.
+type ModelSpec struct {
+	// Name is the model's display name (e.g. "ResNet50").
+	Name string
+	// Params is the number of trainable parameters.
+	Params int64
+	// BytesPerParam is the wire size of one parameter (4 for float32, as
+	// in the paper's TensorFlow setup).
+	BytesPerParam int64
+	// BaseStep is the mean compute time of one training step on an
+	// unloaded reference GPU.
+	BaseStep time.Duration
+	// Dataset names the dataset the paper pairs with the model.
+	Dataset string
+	// BatchSize is the per-worker batch size from the paper's setup.
+	BatchSize int
+	// Layers is the number of gradient-producing layers; layer-wise
+	// overlapping (Section 8.5's proposed optimization) pipelines
+	// host-device copies against backpropagation at this granularity.
+	Layers int
+}
+
+// GradientBytes returns the wire size of one full gradient.
+func (m ModelSpec) GradientBytes() int64 { return m.Params * m.BytesPerParam }
+
+// String implements fmt.Stringer.
+func (m ModelSpec) String() string {
+	return fmt.Sprintf("%s(%dM params, %v/step, %s)",
+		m.Name, m.Params/1_000_000, m.BaseStep, m.Dataset)
+}
+
+// The model zoo matches Section 7.2 of the paper. Parameter counts are the
+// exact figures the paper quotes; base step times are calibrated so the
+// relative system-overhead percentages of Table 5 keep their shape.
+
+// ResNet50 is the ImageNet image-classification model (25,559,081 params).
+func ResNet50() ModelSpec {
+	return ModelSpec{
+		Name: "ResNet50", Params: 25_559_081, BytesPerParam: 4,
+		BaseStep: 280 * time.Millisecond, Dataset: "ImageNet", BatchSize: 128, Layers: 50,
+	}
+}
+
+// VGG16 is the communication-intensive CIFAR-10 model (~138M params).
+func VGG16() ModelSpec {
+	return ModelSpec{
+		Name: "VGG16", Params: 138_344_128, BytesPerParam: 4,
+		BaseStep: 330 * time.Millisecond, Dataset: "CIFAR-10", BatchSize: 128, Layers: 16,
+	}
+}
+
+// ResNet56 is the small CIFAR-10 model used in the Fig. 1 motivation study.
+func ResNet56() ModelSpec {
+	return ModelSpec{
+		Name: "ResNet56", Params: 855_770, BytesPerParam: 4,
+		BaseStep: 50 * time.Millisecond, Dataset: "CIFAR-10", BatchSize: 128, Layers: 56,
+	}
+}
+
+// LSTM is the 4096-wide video-classification model on UCF101
+// (34,663,525 params). Its step times are dominated by input video length;
+// use VideoBatchSampler for the Fig. 2 distribution.
+func LSTM() ModelSpec {
+	return ModelSpec{
+		Name: "LSTM", Params: 34_663_525, BytesPerParam: 4,
+		BaseStep: 1219 * time.Millisecond, Dataset: "UCF101", BatchSize: 128, Layers: 2,
+	}
+}
+
+// Transformer is the WMT17 English–German translation model
+// (61,362,176 params) trained with 4,096-token batches.
+func Transformer() ModelSpec {
+	return ModelSpec{
+		Name: "Transformer", Params: 61_362_176, BytesPerParam: 4,
+		BaseStep: 220 * time.Millisecond, Dataset: "WMT17", BatchSize: 4096, Layers: 12,
+	}
+}
+
+// InceptionV3 is the feature extractor the paper uses to preprocess UCF101.
+func InceptionV3() ModelSpec {
+	return ModelSpec{
+		Name: "InceptionV3", Params: 23_851_784, BytesPerParam: 4,
+		BaseStep: 180 * time.Millisecond, Dataset: "UCF101", BatchSize: 32, Layers: 48,
+	}
+}
+
+// ByName resolves a model spec from its name, case-sensitively.
+func ByName(name string) (ModelSpec, error) {
+	for _, m := range []ModelSpec{
+		ResNet50(), VGG16(), ResNet56(), LSTM(), Transformer(), InceptionV3(),
+	} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ModelSpec{}, fmt.Errorf("workload: unknown model %q", name)
+}
+
+// StepSampler draws per-batch compute times.
+type StepSampler interface {
+	// Sample returns the compute time of one training step.
+	Sample(src *rng.Source) time.Duration
+	// Mean returns the sampler's expected step time.
+	Mean() time.Duration
+}
+
+// Balanced samples a base step time with small multiplicative jitter — the
+// preprocessed, size-normalized batches of ResNet50/ImageNet and
+// VGG16/CIFAR-10.
+type Balanced struct {
+	Base   time.Duration
+	Jitter float64 // fractional half-width, e.g. 0.05 for ±5%
+}
+
+var _ StepSampler = Balanced{}
+
+// Sample implements StepSampler.
+func (b Balanced) Sample(src *rng.Source) time.Duration {
+	f := 1 + src.Uniform(-b.Jitter, b.Jitter)
+	if f < 0 {
+		f = 0
+	}
+	return time.Duration(float64(b.Base) * f)
+}
+
+// Mean implements StepSampler.
+func (b Balanced) Mean() time.Duration { return b.Base }
+
+// LongTail samples lognormal step times matched to the given arithmetic
+// moments and clamped to [Min, Max] — the inherent load imbalance of
+// dynamic networks (Fig. 2).
+type LongTail struct {
+	MeanStep time.Duration
+	StdDev   time.Duration
+	Min, Max time.Duration
+}
+
+var _ StepSampler = LongTail{}
+
+// Sample implements StepSampler.
+func (l LongTail) Sample(src *rng.Source) time.Duration {
+	ms := src.LogNormalFromMoments(
+		float64(l.MeanStep)/float64(time.Millisecond),
+		float64(l.StdDev)/float64(time.Millisecond),
+	)
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d < l.Min {
+		return l.Min
+	}
+	if l.Max > 0 && d > l.Max {
+		return l.Max
+	}
+	return d
+}
+
+// Mean implements StepSampler.
+func (l LongTail) Mean() time.Duration { return l.MeanStep }
+
+// VideoBatchSampler reproduces the LSTM/UCF101 batch-time distribution of
+// Fig. 2(b): mean 1219 ms, stddev 760 ms, range 156 ms – 8000 ms.
+func VideoBatchSampler() LongTail {
+	return LongTail{
+		MeanStep: 1219 * time.Millisecond,
+		StdDev:   760 * time.Millisecond,
+		Min:      156 * time.Millisecond,
+		Max:      8000 * time.Millisecond,
+	}
+}
+
+// SentenceBatchSampler models Transformer step times under variable-length
+// WMT17 sentences: a 4,096-token batch mixes sentences of different length,
+// so the variance is milder than video (coefficient of variation ≈ 0.25).
+func SentenceBatchSampler(base time.Duration) LongTail {
+	return LongTail{
+		MeanStep: base,
+		StdDev:   time.Duration(float64(base) * 0.25),
+		Min:      base / 4,
+		Max:      base * 4,
+	}
+}
+
+// VideoLengthFrames samples a UCF101 video length in frames, matching the
+// paper's Fig. 2(a): mean 186, stddev 97.7, range 29–1776.
+func VideoLengthFrames(src *rng.Source) float64 {
+	f := src.LogNormalFromMoments(186, 97.7)
+	if f < 29 {
+		return 29
+	}
+	if f > 1776 {
+		return 1776
+	}
+	return f
+}
