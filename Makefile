@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all vet build test race bench collective-bench check
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis, full build, race-enabled tests.
+check: vet build race
+
+# bench runs the collective and kernel micro-benchmarks interactively.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkRingAllReduce|BenchmarkPartialRingAllReduce' -benchmem ./internal/collective/
+	$(GO) test -run xxx -bench BenchmarkTensorKernels -benchmem ./internal/tensor/
+
+# collective-bench regenerates the machine-readable BENCH_collective.json.
+collective-bench:
+	$(GO) run ./cmd/rnabench -collective -collective-out BENCH_collective.json

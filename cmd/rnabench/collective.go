@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Collective micro-benchmark mode: rnabench -collective re-measures the ring
+// AllReduce hot path with testing.Benchmark and writes a machine-readable
+// BENCH_collective.json next to the repo's recorded numbers, so perf
+// regressions show up as a diff instead of an anecdote.
+
+// collectiveBenchCase is one measured configuration.
+type collectiveBenchCase struct {
+	Name        string  `json:"name"`
+	Ranks       int     `json:"ranks"`
+	Dim         int     `json:"dim"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// collectiveBenchReport is the BENCH_collective.json schema.
+type collectiveBenchReport struct {
+	// Seed are the checked-in numbers for the pre-optimization serial ring
+	// (measured on the same benchmark definitions at the seed commit).
+	Seed []collectiveBenchCase `json:"seed_baseline"`
+	// Current are the numbers measured by this run.
+	Current []collectiveBenchCase `json:"current"`
+	// GateSpeedup/GateAllocRatio compare the n8/dim262144 acceptance case
+	// (current vs seed): throughput ratio and allocs-per-op ratio.
+	GateSpeedup    float64 `json:"gate_speedup_throughput"`
+	GateAllocRatio float64 `json:"gate_alloc_reduction"`
+}
+
+// seedBaseline is the seed implementation measured with the identical
+// benchmark bodies (BenchmarkRingAllReduce / BenchmarkPartialRingAllReduce)
+// before the pipelined ring landed.
+var seedBaseline = []collectiveBenchCase{
+	{Name: "RingAllReduce", Ranks: 4, Dim: 1 << 10, NsPerOp: 28989, MBPerSec: 282.56, BytesPerOp: 147556, AllocsPerOp: 54},
+	{Name: "RingAllReduce", Ranks: 8, Dim: 1 << 18, NsPerOp: 7414451, MBPerSec: 282.85, BytesPerOp: 29375459, AllocsPerOp: 188},
+	{Name: "RingAllReduce", Ranks: 16, Dim: 1 << 20, NsPerOp: 119230024, MBPerSec: 70.36, BytesPerOp: 246674329, AllocsPerOp: 637},
+	{Name: "PartialRingAllReduce", Ranks: 8, Dim: 1 << 18, NsPerOp: 8880643, MBPerSec: 236.15, BytesPerOp: 31477612, AllocsPerOp: 196},
+}
+
+func benchRing(name string, n, dim int, body func(m transport.Mesh, iter int64, v tensor.Vector) error) (collectiveBenchCase, error) {
+	net, err := transport.NewLocalNetwork(n)
+	if err != nil {
+		return collectiveBenchCase{}, err
+	}
+	defer func() { _ = net.Close() }()
+	vecs := make([]tensor.Vector, n)
+	for i := range vecs {
+		vecs[i] = tensor.New(dim)
+		for j := range vecs[i] {
+			vecs[i][j] = float64(i + j)
+		}
+	}
+	eps := net.Endpoints()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(dim * 8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan error, n)
+			for _, m := range eps {
+				m := m
+				go func() { done <- body(m, int64(i), vecs[m.Rank()]) }()
+			}
+			for range eps {
+				if err := <-done; err != nil && benchErr == nil {
+					benchErr = err
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return collectiveBenchCase{}, fmt.Errorf("%s n%d dim%d: %w", name, n, dim, benchErr)
+	}
+	mbps := 0.0
+	if s := res.T.Seconds(); s > 0 {
+		mbps = float64(res.Bytes) * float64(res.N) / 1e6 / s
+	}
+	return collectiveBenchCase{
+		Name:        name,
+		Ranks:       n,
+		Dim:         dim,
+		NsPerOp:     res.NsPerOp(),
+		MBPerSec:    mbps,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// runCollectiveBench measures the recorded configurations and writes the
+// JSON report to outPath.
+func runCollectiveBench(outPath string) error {
+	ring := func(m transport.Mesh, iter int64, v tensor.Vector) error {
+		return collective.RingAllReduce(m, iter, v, collective.OpAverage)
+	}
+	partial := func(m transport.Mesh, iter int64, v tensor.Vector) error {
+		pr, err := collective.PartialRingAllReduce(m, iter, v, m.Rank()%2 == 0)
+		if err == nil {
+			pr.Release()
+		}
+		return err
+	}
+	configs := []struct {
+		name   string
+		n, dim int
+		body   func(m transport.Mesh, iter int64, v tensor.Vector) error
+	}{
+		{"RingAllReduce", 4, 1 << 10, ring},
+		{"RingAllReduce", 8, 1 << 18, ring},
+		{"RingAllReduce", 16, 1 << 20, ring},
+		{"PartialRingAllReduce", 8, 1 << 18, partial},
+	}
+	rep := collectiveBenchReport{Seed: seedBaseline}
+	for _, c := range configs {
+		fmt.Fprintf(os.Stderr, "collective bench: %s n%d dim%d...\n", c.name, c.n, c.dim)
+		res, err := benchRing(c.name, c.n, c.dim, c.body)
+		if err != nil {
+			return err
+		}
+		rep.Current = append(rep.Current, res)
+	}
+	for _, cur := range rep.Current {
+		for _, seed := range rep.Seed {
+			if cur.Name == "RingAllReduce" && cur.Name == seed.Name && cur.Ranks == 8 && seed.Ranks == 8 && cur.Dim == seed.Dim {
+				rep.GateSpeedup = cur.MBPerSec / seed.MBPerSec
+				if cur.AllocsPerOp > 0 {
+					rep.GateAllocRatio = float64(seed.AllocsPerOp) / float64(cur.AllocsPerOp)
+				}
+			}
+		}
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "collective bench: wrote %s (gate speedup %.2fx, alloc reduction %.1fx)\n",
+		outPath, rep.GateSpeedup, rep.GateAllocRatio)
+	return nil
+}

@@ -5,6 +5,7 @@
 //	rnabench -list
 //	rnabench [-scale 1.0] [-seed 1] [-workers 8] fig6 table3 ...
 //	rnabench all
+//	rnabench -collective [-collective-out BENCH_collective.json]
 package main
 
 import (
@@ -31,9 +32,15 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "override cluster size (0 = experiment default)")
 		jsonOut = fs.Bool("json", false, "emit the reports as a JSON array on stdout")
+
+		collectiveBench = fs.Bool("collective", false, "run the ring AllReduce micro-benchmarks and write BENCH_collective.json")
+		collectiveOut   = fs.String("collective-out", "BENCH_collective.json", "output path for -collective")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *collectiveBench {
+		return runCollectiveBench(*collectiveOut)
 	}
 	if *list {
 		for _, id := range rna.ExperimentIDs() {

@@ -1,0 +1,90 @@
+package collective_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// runRanks runs one collective invocation per rank concurrently and fails the
+// benchmark on any error.
+func runRanks(b *testing.B, eps []transport.Mesh, fn func(m transport.Mesh) error) {
+	b.Helper()
+	done := make(chan error, len(eps))
+	for _, m := range eps {
+		m := m
+		go func() { done <- fn(m) }()
+	}
+	for range eps {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingAllReduce sweeps vector size (1K–1M) and rank count (4/8/16)
+// on the in-memory mesh. The 256K/n8 case is the acceptance gate tracked in
+// BENCH_collective.json.
+func BenchmarkRingAllReduce(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		for _, dim := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 20} {
+			b.Run(fmt.Sprintf("n%d/dim%d", n, dim), func(b *testing.B) {
+				net, err := transport.NewLocalNetwork(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				vecs := make([]tensor.Vector, n)
+				for i := range vecs {
+					vecs[i] = tensor.New(dim)
+				}
+				eps := net.Endpoints()
+				b.SetBytes(int64(dim * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runRanks(b, eps, func(m transport.Mesh) error {
+						return collective.RingAllReduce(m, int64(i), vecs[m.Rank()], collective.OpAverage)
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartialRingAllReduce measures the paper's partial collective
+// (half the ranks contribute nulls) across the same sweep.
+func BenchmarkPartialRingAllReduce(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		for _, dim := range []int{1 << 10, 1 << 18} {
+			b.Run(fmt.Sprintf("n%d/dim%d", n, dim), func(b *testing.B) {
+				net, err := transport.NewLocalNetwork(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				vecs := make([]tensor.Vector, n)
+				for i := range vecs {
+					vecs[i] = tensor.New(dim)
+				}
+				eps := net.Endpoints()
+				b.SetBytes(int64(dim * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runRanks(b, eps, func(m transport.Mesh) error {
+						r := m.Rank()
+						pr, err := collective.PartialRingAllReduce(m, int64(i), vecs[r], r%2 == 0)
+						if err == nil {
+							pr.Release()
+						}
+						return err
+					})
+				}
+			})
+		}
+	}
+}

@@ -37,75 +37,21 @@ var ErrProtocol = errors.New("collective: protocol violation")
 // left neighbor while reducing the chunk arriving from the right, followed
 // by N−1 allgather steps circulating the fully reduced chunks. iter tags
 // the messages so concurrent iterations cannot be confused.
+//
+// The schedule is pipelined (see ring.go): each step's sends overlap its
+// receives, and large chunks travel as several segments so reduction
+// compute hides behind transfer. Results are bit-identical to the serial
+// schedule.
 func RingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
-	n := m.Size()
-	if n == 1 {
-		return nil
-	}
-	rank := m.Rank()
-	left := (rank + 1) % n
-	right := (rank - 1 + n) % n
-	chunks, err := tensor.Partition(v, n)
-	if err != nil {
-		return err
-	}
+	return ringAllReduce(m, iter, v, op, 0)
+}
 
-	// Scatter-reduce: after step s, rank r holds the running sum of
-	// chunk (r−s−1 mod n) over s+2 ranks; after n−1 steps it owns the
-	// complete sum of chunk (r+1 mod n).
-	for s := 0; s < n-1; s++ {
-		sendIdx := mod(rank-s, n)
-		recvIdx := mod(rank-s-1, n)
-		if err := m.Send(left, transport.Message{
-			Type:    transport.MsgChunk,
-			Iter:    iter,
-			Chunk:   int32(sendIdx),
-			Payload: chunks[sendIdx].Data,
-		}); err != nil {
-			return fmt.Errorf("scatter send: %w", err)
-		}
-		msg, err := m.Recv(right)
-		if err != nil {
-			return fmt.Errorf("scatter recv: %w", err)
-		}
-		if msg.Iter != iter || int(msg.Chunk) != recvIdx {
-			return fmt.Errorf("%w: scatter got iter=%d chunk=%d, want iter=%d chunk=%d",
-				ErrProtocol, msg.Iter, msg.Chunk, iter, recvIdx)
-		}
-		if err := chunks[recvIdx].Data.Add(msg.Payload); err != nil {
-			return fmt.Errorf("scatter reduce: %w", err)
-		}
-	}
-
-	// Allgather: circulate the completed chunks; receivers overwrite.
-	for s := 0; s < n-1; s++ {
-		sendIdx := mod(rank+1-s, n)
-		recvIdx := mod(rank-s, n)
-		if err := m.Send(left, transport.Message{
-			Type:    transport.MsgChunk,
-			Iter:    iter,
-			Chunk:   int32(sendIdx),
-			Payload: chunks[sendIdx].Data,
-		}); err != nil {
-			return fmt.Errorf("gather send: %w", err)
-		}
-		msg, err := m.Recv(right)
-		if err != nil {
-			return fmt.Errorf("gather recv: %w", err)
-		}
-		if msg.Iter != iter || int(msg.Chunk) != recvIdx {
-			return fmt.Errorf("%w: gather got iter=%d chunk=%d, want iter=%d chunk=%d",
-				ErrProtocol, msg.Iter, msg.Chunk, iter, recvIdx)
-		}
-		if err := chunks[recvIdx].Data.CopyFrom(msg.Payload); err != nil {
-			return fmt.Errorf("gather copy: %w", err)
-		}
-	}
-
-	if op == OpAverage {
-		v.Scale(1 / float64(n))
-	}
-	return nil
+// RingAllReduceSegmented is RingAllReduce with an explicit pipeline depth:
+// each ring chunk travels as `segments` back-to-back messages. segments <= 0
+// selects the depth automatically (the RingAllReduce default). All ranks
+// must pass the same depth.
+func RingAllReduceSegmented(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, segments int) error {
+	return ringAllReduce(m, iter, v, op, segments)
 }
 
 // PartialResult is the outcome of a partial AllReduce.
@@ -117,22 +63,37 @@ type PartialResult struct {
 	Contributors int
 }
 
+// Release hands Sum's backing buffer back to the transport pool. Callers
+// that are done with Sum should release it — the partial collective runs
+// once per training step on every rank, and releasing makes that steady
+// state allocation-free. After Release the Sum slice must not be touched.
+func (r PartialResult) Release() {
+	if r.Sum != nil {
+		transport.PutPayload(r.Sum)
+	}
+}
+
 // PartialRingAllReduce performs the paper's partial AllReduce: ranks with
 // contributes=false take part in the communication graph with a null
 // (zero) gradient, exactly as Section 2.3.2 describes, so the ring schedule
 // is unchanged. The reduction also counts contributors, giving every rank
 // the weight W = 1/Σw needed for the weighted average of Algorithm 2.
 //
-// v is not modified; the summed gradient is returned in PartialResult.Sum.
+// v is not modified; the summed gradient is returned in PartialResult.Sum,
+// which lives in a pooled scratch buffer — call Release when done with it.
 func PartialRingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
 	// Piggyback the contribution flag as one extra element so the count
-	// is reduced by the same ring pass as the data.
-	work := make(tensor.Vector, len(v)+1)
+	// is reduced by the same ring pass as the data. The scratch comes
+	// from the shared payload pool (it is hot: one per rank per step).
+	work := tensor.Vector(transport.GetPayload(len(v) + 1))
 	if contributes {
 		copy(work, v)
 		work[len(v)] = 1
+	} else {
+		work.Zero()
 	}
 	if err := RingAllReduce(m, iter, work, OpSum); err != nil {
+		transport.PutPayload(work)
 		return PartialResult{}, err
 	}
 	contributors := int(work[len(v)] + 0.5)
@@ -169,6 +130,7 @@ func Broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int) error {
 		if err := v.CopyFrom(msg.Payload); err != nil {
 			return fmt.Errorf("broadcast copy: %w", err)
 		}
+		transport.PutPayload(msg.Payload)
 	}
 
 	// Send phase: forward to children vrank+span for doubling spans.

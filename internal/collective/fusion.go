@@ -47,11 +47,17 @@ func FusedAllReduce(m transport.Mesh, iter int64, tensors []tensor.Vector, op Re
 	cur.hi = len(tensors)
 	groups = append(groups, cur)
 
-	buf := tensor.New(0)
-	for gi, g := range groups {
-		if cap(buf) < g.elems {
-			buf = tensor.New(g.elems)
+	// One pooled staging buffer sized for the largest group serves every
+	// group; it goes back to the pool when the reduction completes.
+	maxGroup := 0
+	for _, g := range groups {
+		if g.elems > maxGroup {
+			maxGroup = g.elems
 		}
+	}
+	buf := tensor.Vector(transport.GetPayload(maxGroup))
+	defer transport.PutPayload(buf)
+	for gi, g := range groups {
 		buf = buf[:0]
 		for _, t := range tensors[g.lo:g.hi] {
 			buf = append(buf, t...)

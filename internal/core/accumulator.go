@@ -31,6 +31,12 @@ type Accumulator struct {
 	grads   []tensor.Vector
 	iters   []int64
 	dropped int64
+
+	// weights is the scratch for Take's local reduction; free recycles
+	// the per-Put gradient copies so a steady-state worker stops
+	// allocating one dim-sized vector per iteration.
+	weights []float64
+	free    []tensor.Vector
 }
 
 // NewAccumulator returns an accumulator for dim-sized gradients that keeps
@@ -56,7 +62,16 @@ func (a *Accumulator) Put(iter int64, grad tensor.Vector) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.grads = append(a.grads, grad.Clone())
+	var g tensor.Vector
+	if n := len(a.free); n > 0 {
+		g = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		copy(g, grad)
+	} else {
+		g = grad.Clone()
+	}
+	a.grads = append(a.grads, g)
 	a.iters = append(a.iters, iter)
 	return nil
 }
@@ -86,16 +101,20 @@ func (a *Accumulator) Take(current int64) (grad tensor.Vector, ok bool, err erro
 	if len(a.grads) == 0 {
 		return nil, false, nil
 	}
-	// Filter by the staleness bound.
+	// Filter by the staleness bound; dropped copies go to the free list.
 	keepG := a.grads[:0]
 	keepI := a.iters[:0]
 	for i, it := range a.iters {
 		if current-it >= a.bound && current-it > 0 {
 			a.dropped++
+			a.free = append(a.free, a.grads[i])
 			continue
 		}
 		keepG = append(keepG, a.grads[i])
 		keepI = append(keepI, it)
+	}
+	for i := len(keepG); i < len(a.grads); i++ {
+		a.grads[i] = nil
 	}
 	a.grads, a.iters = keepG, keepI
 	if len(a.grads) == 0 {
@@ -110,16 +129,21 @@ func (a *Accumulator) Take(current int64) (grad tensor.Vector, ok bool, err erro
 			tau = g
 		}
 	}
-	weights := make([]float64, len(a.grads))
-	for i, it := range a.iters {
-		weights[i] = float64(it - (current - tau) + 1)
+	a.weights = a.weights[:0]
+	for _, it := range a.iters {
+		a.weights = append(a.weights, float64(it-(current-tau)+1))
 	}
-	out, err := tensor.WeightedMean(a.grads, weights)
+	out, err := tensor.WeightedMean(a.grads, a.weights)
 	if err != nil {
 		return nil, false, fmt.Errorf("core: local reduce: %w", err)
 	}
 	// Reset to null: after each AllReduce the inputs are overwritten so
-	// outdated gradients are never reused (Section 6).
+	// outdated gradients are never reused (Section 6). The copies are
+	// recycled for future Puts.
+	a.free = append(a.free, a.grads...)
+	for i := range a.grads {
+		a.grads[i] = nil
+	}
 	a.grads = a.grads[:0]
 	a.iters = a.iters[:0]
 	return out, true, nil

@@ -193,6 +193,7 @@ func RunEagerWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainC
 				cond.Broadcast()
 				mu.Unlock()
 			}
+			pr.Release()
 			if rank == 0 {
 				ctrl.Forget(k - int64(cfg.bound()) - 2)
 			}

@@ -230,6 +230,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 				cond.Broadcast()
 				mu.Unlock()
 			}
+			pr.Release()
 			if post != nil {
 				if err := post(k, &mu, params); err != nil {
 					commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)

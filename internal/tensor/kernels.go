@@ -1,0 +1,88 @@
+package tensor
+
+// Unrolled element-wise kernels. Every hot loop in the repository — the ring
+// reduce, the accumulator's weighted mean, the SGD update — bottoms out in
+// one of these. The 4-way unrolling shortens the loop-carried dependency
+// chain and lets the compiler keep four elements in flight per iteration;
+// the explicit re-slice (`b = b[:len(a)]`) eliminates bounds checks in the
+// body. Pairwise FP addition is commutative bitwise, so addVec/subVec keep
+// results bit-identical to the naive loops they replace.
+
+// addVec computes a[i] += b[i].
+func addVec(a, b []float64) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] += b[i]
+		a[i+1] += b[i+1]
+		a[i+2] += b[i+2]
+		a[i+3] += b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] += b[i]
+	}
+}
+
+// subVec computes a[i] -= b[i].
+func subVec(a, b []float64) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] -= b[i]
+		a[i+1] -= b[i+1]
+		a[i+2] -= b[i+2]
+		a[i+3] -= b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] -= b[i]
+	}
+}
+
+// scaleVec computes a[i] *= c.
+func scaleVec(a []float64, c float64) {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] *= c
+		a[i+1] *= c
+		a[i+2] *= c
+		a[i+3] *= c
+	}
+	for ; i < len(a); i++ {
+		a[i] *= c
+	}
+}
+
+// axpyVec computes a[i] += c*b[i], the fused multiply-add behind AddScaled.
+func axpyVec(a []float64, c float64, b []float64) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] += c * b[i]
+		a[i+1] += c * b[i+1]
+		a[i+2] += c * b[i+2]
+		a[i+3] += c * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] += c * b[i]
+	}
+}
+
+// dotVec returns Σ a[i]*b[i] using four independent accumulators, breaking
+// the serial-add dependency chain. The summation order differs from a naive
+// left-to-right fold by at most the usual FP reassociation error.
+func dotVec(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -68,9 +68,7 @@ func (v Vector) Add(other Vector) error {
 	if len(v) != len(other) {
 		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(other))
 	}
-	for i, x := range other {
-		v[i] += x
-	}
+	addVec(v, other)
 	return nil
 }
 
@@ -79,29 +77,30 @@ func (v Vector) Sub(other Vector) error {
 	if len(v) != len(other) {
 		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(other))
 	}
-	for i, x := range other {
-		v[i] -= x
-	}
+	subVec(v, other)
 	return nil
 }
 
 // Scale multiplies v by c in place.
 func (v Vector) Scale(c float64) {
-	for i := range v {
-		v[i] *= c
-	}
+	scaleVec(v, c)
 }
 
-// Axpy computes v += a*x, the classic BLAS primitive used by every SGD
-// update in the repository.
-func (v Vector) Axpy(a float64, x Vector) error {
+// AddScaled computes v += a*x as one fused multiply-add pass. It is the
+// primitive behind the accumulator's weighted local reduction and the SGD
+// parameter update.
+func (v Vector) AddScaled(a float64, x Vector) error {
 	if len(v) != len(x) {
 		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(x))
 	}
-	for i, xi := range x {
-		v[i] += a * xi
-	}
+	axpyVec(v, a, x)
 	return nil
+}
+
+// Axpy computes v += a*x, the classic BLAS primitive used by every SGD
+// update in the repository. It is an alias for AddScaled.
+func (v Vector) Axpy(a float64, x Vector) error {
+	return v.AddScaled(a, x)
 }
 
 // Dot returns the inner product of v and other.
@@ -109,11 +108,7 @@ func (v Vector) Dot(other Vector) (float64, error) {
 	if len(v) != len(other) {
 		return 0, fmt.Errorf("%w: a %d, b %d", ErrShapeMismatch, len(v), len(other))
 	}
-	var s float64
-	for i, x := range v {
-		s += x * other[i]
-	}
-	return s, nil
+	return dotVec(v, other), nil
 }
 
 // Norm2 returns the Euclidean (l2) norm of v.
@@ -207,7 +202,7 @@ func WeightedMean(vs []Vector, ws []float64) (Vector, error) {
 	}
 	out := New(len(vs[0]))
 	for i, v := range vs {
-		if err := out.Axpy(ws[i]/total, v); err != nil {
+		if err := out.AddScaled(ws[i]/total, v); err != nil {
 			return nil, err
 		}
 	}

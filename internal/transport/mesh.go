@@ -28,11 +28,37 @@ type Mesh interface {
 	Close() error
 }
 
-// chanQueue is an unbounded FIFO delivering messages from one peer.
+// OwnedSender is an optional Mesh capability: SendOwned transfers ownership
+// of m.Payload to the transport. The caller must not touch the payload after
+// the call (success or failure) — the in-memory mesh hands the very buffer to
+// the receiver without copying, and the TCP mesh recycles it into the payload
+// pool once it is on the wire. Payloads sent this way should come from
+// GetPayload (or a prior Recv) so the eventual PutPayload finds a pool class.
+type OwnedSender interface {
+	SendOwned(to int, m Message) error
+}
+
+// SendOwned delivers m with ownership transfer when the mesh supports it,
+// and otherwise falls back to a plain Send followed by releasing the payload
+// on the caller's behalf. Either way the caller relinquishes m.Payload.
+func SendOwned(m Mesh, to int, msg Message) error {
+	if os, ok := m.(OwnedSender); ok {
+		return os.SendOwned(to, msg)
+	}
+	err := m.Send(to, msg)
+	PutPayload(msg.Payload)
+	return err
+}
+
+// chanQueue is an unbounded FIFO delivering messages from one peer. It is a
+// growable ring buffer: steady-state push/pop traffic recycles the same
+// backing array instead of appending onto an ever-advancing slice front.
 type chanQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []Message
+	buf    []Message
+	head   int // index of the oldest message
+	count  int
 	closed bool
 }
 
@@ -48,7 +74,16 @@ func (q *chanQueue) push(m Message) error {
 	if q.closed {
 		return ErrClosed
 	}
-	q.queue = append(q.queue, m)
+	if q.count == len(q.buf) {
+		grown := make([]Message, max(8, 2*len(q.buf)))
+		for i := 0; i < q.count; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = m
+	q.count++
 	q.cond.Signal()
 	return nil
 }
@@ -56,14 +91,16 @@ func (q *chanQueue) push(m Message) error {
 func (q *chanQueue) pop() (Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.queue) == 0 && !q.closed {
+	for q.count == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.queue) == 0 {
+	if q.count == 0 {
 		return Message{}, ErrClosed
 	}
-	m := q.queue[0]
-	q.queue = q.queue[1:]
+	m := q.buf[q.head]
+	q.buf[q.head] = Message{} // drop the payload reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
 	return m, nil
 }
 
@@ -134,7 +171,10 @@ type localMesh struct {
 	closed bool
 }
 
-var _ Mesh = (*localMesh)(nil)
+var (
+	_ Mesh        = (*localMesh)(nil)
+	_ OwnedSender = (*localMesh)(nil)
+)
 
 func (m *localMesh) Rank() int { return m.rank }
 
@@ -154,13 +194,39 @@ func (m *localMesh) Send(to int, msg Message) error {
 	msg.To = int32(to)
 	// Messages are immutable once sent: copy the payload so the sender
 	// may keep mutating its buffers (the TCP mesh gets this for free by
-	// serializing onto the wire).
+	// serializing onto the wire). The copy lands in a pooled buffer the
+	// receiver owns — see the ownership contract in pool.go.
 	if msg.Payload != nil {
-		p := make([]float64, len(msg.Payload))
+		p := GetPayload(len(msg.Payload))
 		copy(p, msg.Payload)
 		msg.Payload = p
 	}
 	return m.net.endpoints[to].inbox[m.rank].push(msg)
+}
+
+// SendOwned implements OwnedSender: the sender's buffer is delivered to the
+// receiver as-is, skipping the defensive copy Send performs. The ring
+// AllReduce forwards chunks through the ring this way, so one buffer rotates
+// all the way around instead of being copied at every hop.
+func (m *localMesh) SendOwned(to int, msg Message) error {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		PutPayload(msg.Payload)
+		return ErrClosed
+	}
+	if to < 0 || to >= m.net.size {
+		PutPayload(msg.Payload)
+		return fmt.Errorf("transport: send to rank %d of %d", to, m.net.size)
+	}
+	msg.From = int32(m.rank)
+	msg.To = int32(to)
+	if err := m.net.endpoints[to].inbox[m.rank].push(msg); err != nil {
+		PutPayload(msg.Payload)
+		return err
+	}
+	return nil
 }
 
 func (m *localMesh) Recv(from int) (Message, error) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MsgType distinguishes the wire messages of the collective protocols.
@@ -82,13 +83,23 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	return buf, nil
 }
 
-// WriteMessage writes one encoded message to w.
+// encodeBufs recycles wire-format scratch buffers across sends; readBufs
+// recycles the raw payload staging buffer on the receive side.
+var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+var readBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// WriteMessage writes one encoded message to w, staging the wire bytes in a
+// pooled scratch buffer so the encode allocates nothing steady-state.
 func WriteMessage(w io.Writer, m Message) error {
-	buf, err := Encode(nil, m)
+	bp := encodeBufs.Get().(*[]byte)
+	buf, err := Encode((*bp)[:0], m)
 	if err != nil {
+		encodeBufs.Put(bp)
 		return err
 	}
 	_, err = w.Write(buf)
+	*bp = buf[:0]
+	encodeBufs.Put(bp)
 	return err
 }
 
@@ -114,14 +125,25 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
 	}
 	if n > 0 {
-		raw := make([]byte, 8*n)
+		bp := readBufs.Get().(*[]byte)
+		raw := *bp
+		if cap(raw) < int(8*n) {
+			raw = make([]byte, 8*n)
+		}
+		raw = raw[:8*n]
 		if _, err := io.ReadFull(r, raw); err != nil {
+			*bp = raw[:0]
+			readBufs.Put(bp)
 			return Message{}, fmt.Errorf("transport: read payload: %w", err)
 		}
-		m.Payload = make([]float64, n)
+		// The decoded payload comes from the shared pool; the receiver
+		// owns it and may release it with PutPayload once consumed.
+		m.Payload = GetPayload(int(n))
 		for i := range m.Payload {
 			m.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
+		*bp = raw[:0]
+		readBufs.Put(bp)
 	}
 	return m, nil
 }

@@ -13,7 +13,10 @@ type SubMesh struct {
 	local   int
 }
 
-var _ Mesh = (*SubMesh)(nil)
+var (
+	_ Mesh        = (*SubMesh)(nil)
+	_ OwnedSender = (*SubMesh)(nil)
+)
 
 // NewSubMesh wraps parent so that only `members` (distinct parent ranks,
 // one of which must be the parent's own rank) are visible. Traffic from
@@ -69,6 +72,18 @@ func (s *SubMesh) Send(to int, m Message) error {
 		return err
 	}
 	return s.parent.Send(g, m)
+}
+
+// SendOwned implements OwnedSender by delegating to the parent's
+// ownership-transfer path (or the copying fallback when the parent lacks
+// one). Either way the caller relinquishes m.Payload.
+func (s *SubMesh) SendOwned(to int, m Message) error {
+	g, err := s.GlobalRank(to)
+	if err != nil {
+		PutPayload(m.Payload)
+		return err
+	}
+	return SendOwned(s.parent, g, m)
 }
 
 // Recv implements Mesh.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -34,7 +35,10 @@ type TCPMesh struct {
 	closed bool
 }
 
-var _ Mesh = (*TCPMesh)(nil)
+var (
+	_ Mesh        = (*TCPMesh)(nil)
+	_ OwnedSender = (*TCPMesh)(nil)
+)
 
 // DialMesh joins a TCP mesh as `rank`. addrs lists every rank's listen
 // address; ln must already be listening on addrs[rank]. Each rank dials
@@ -130,10 +134,12 @@ func DialMesh(rank int, addrs []string, ln net.Listener) (*TCPMesh, error) {
 }
 
 // readLoop pumps messages from one peer connection into its inbox queue
-// until the connection or mesh closes.
+// until the connection or mesh closes. The bufio.Reader batches the
+// header+payload reads of each message into large socket reads.
 func (m *TCPMesh) readLoop(peer int, conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<16)
 	for {
-		msg, err := ReadMessage(conn)
+		msg, err := ReadMessage(r)
 		if err != nil {
 			// EOF or a closed connection ends the stream; close the
 			// peer queue so blocked Recv calls observe ErrClosed.
@@ -168,7 +174,7 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if to == m.rank {
 		// Mirror the wire path's copy semantics for loopback delivery.
 		if msg.Payload != nil {
-			p := make([]float64, len(msg.Payload))
+			p := GetPayload(len(msg.Payload))
 			copy(p, msg.Payload)
 			msg.Payload = p
 		}
@@ -178,9 +184,48 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if conn == nil {
 		return fmt.Errorf("transport: no connection to rank %d", to)
 	}
+	// Serialize into a pooled scratch buffer BEFORE taking the connection
+	// lock: encoding a large gradient is pure CPU work and holding the
+	// lock across it would serialize concurrent senders to the same peer.
+	// The lock guards only the socket write.
+	bp := encodeBufs.Get().(*[]byte)
+	buf, err := Encode((*bp)[:0], msg)
+	if err != nil {
+		encodeBufs.Put(bp)
+		return err
+	}
 	m.sendMu[to].Lock()
-	defer m.sendMu[to].Unlock()
-	return WriteMessage(conn, msg)
+	_, err = conn.Write(buf)
+	m.sendMu[to].Unlock()
+	*bp = buf[:0]
+	encodeBufs.Put(bp)
+	return err
+}
+
+// SendOwned implements OwnedSender. On the wire path the payload is fully
+// consumed by serialization, so ownership transfer just means recycling the
+// buffer into the pool after encoding; loopback delivery hands the buffer to
+// the local inbox without a copy.
+func (m *TCPMesh) SendOwned(to int, msg Message) error {
+	if to == m.rank {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			PutPayload(msg.Payload)
+			return ErrClosed
+		}
+		msg.From = int32(m.rank)
+		msg.To = int32(to)
+		if err := m.inbox[m.rank].push(msg); err != nil {
+			PutPayload(msg.Payload)
+			return err
+		}
+		return nil
+	}
+	err := m.Send(to, msg)
+	PutPayload(msg.Payload)
+	return err
 }
 
 // Recv implements Mesh.
