@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench collective-bench check
+.PHONY: all vet build test race bench microbench collective-bench train-bench check
 
 all: vet build test
 
@@ -19,11 +19,22 @@ race:
 # check is the CI gate: static analysis, full build, race-enabled tests.
 check: vet build race
 
-# bench runs the collective and kernel micro-benchmarks interactively.
-bench:
+# bench refreshes both machine-readable benchmark reports
+# (BENCH_collective.json and BENCH_train.json).
+bench: collective-bench train-bench
+
+# microbench runs the collective, kernel, model and engine micro-benchmarks
+# interactively.
+microbench:
 	$(GO) test -run xxx -bench 'BenchmarkRingAllReduce|BenchmarkPartialRingAllReduce' -benchmem ./internal/collective/
 	$(GO) test -run xxx -bench BenchmarkTensorKernels -benchmem ./internal/tensor/
+	$(GO) test -run xxx -bench BenchmarkModel -benchmem ./internal/model/
+	$(GO) test -run xxx -bench BenchmarkTrainsim -benchmem ./internal/trainsim/
 
 # collective-bench regenerates the machine-readable BENCH_collective.json.
 collective-bench:
 	$(GO) run ./cmd/rnabench -collective -collective-out BENCH_collective.json
+
+# train-bench regenerates the machine-readable BENCH_train.json.
+train-bench:
+	$(GO) run ./cmd/rnabench -train -train-out BENCH_train.json

@@ -6,6 +6,7 @@
 //	rnabench [-scale 1.0] [-seed 1] [-workers 8] fig6 table3 ...
 //	rnabench all
 //	rnabench -collective [-collective-out BENCH_collective.json]
+//	rnabench -train [-train-out BENCH_train.json]
 package main
 
 import (
@@ -35,12 +36,18 @@ func run(args []string) error {
 
 		collectiveBench = fs.Bool("collective", false, "run the ring AllReduce micro-benchmarks and write BENCH_collective.json")
 		collectiveOut   = fs.String("collective-out", "BENCH_collective.json", "output path for -collective")
+
+		trainBench = fs.Bool("train", false, "run the training-engine benchmarks and write BENCH_train.json")
+		trainOut   = fs.String("train-out", "BENCH_train.json", "output path for -train")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *collectiveBench {
 		return runCollectiveBench(*collectiveOut)
+	}
+	if *trainBench {
+		return runTrainBench(*trainOut)
 	}
 	if *list {
 		for _, id := range rna.ExperimentIDs() {

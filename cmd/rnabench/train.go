@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/trainsim"
+	"repro/internal/workload"
+)
+
+// Training-engine benchmark mode: rnabench -train re-measures the model
+// gradient kernels and the end-to-end simulation engines with
+// testing.Benchmark and writes BENCH_train.json, mirroring the collective
+// harness: the checked-in seed numbers make regressions (and the parallel
+// engine's speedup) a diff instead of an anecdote.
+
+// trainBenchCase is one measured configuration.
+type trainBenchCase struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// trainBenchReport is the BENCH_train.json schema.
+type trainBenchReport struct {
+	// GOMAXPROCS records the parallelism available to the run: the
+	// trainsim speedup gate is only meaningful above 1.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Seed are the checked-in numbers from the serial engine at the seed
+	// commit, measured with identical benchmark bodies.
+	Seed []trainBenchCase `json:"seed_baseline"`
+	// Current are the numbers measured by this run.
+	Current []trainBenchCase `json:"current"`
+	// GateModelSpeedup is seed vs current single-thread MLP gradient time
+	// (the vectorized-backprop gain, independent of core count).
+	GateModelSpeedup float64 `json:"gate_model_gradient_speedup"`
+	// GateTrainsimSpeedup is the parallel engine's wall-clock gain over
+	// the serial engine on the BSP benchmark in THIS run (≥2x expected on
+	// a multi-core machine; ~1x when GOMAXPROCS=1).
+	GateTrainsimSpeedup float64 `json:"gate_trainsim_parallel_speedup"`
+}
+
+// trainSeedBaseline holds the seed-commit measurements of the identical
+// benchmark bodies (serial engine, scalar model inner loops).
+var trainSeedBaseline = []trainBenchCase{
+	{Name: "ModelGradient/Logistic", NsPerOp: 42819, BytesPerOp: 80, AllocsPerOp: 1},
+	{Name: "ModelGradient/MLP", NsPerOp: 429401, BytesPerOp: 1104, AllocsPerOp: 3},
+	{Name: "ModelGradient/LinReg", NsPerOp: 6534, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "ModelLoss/MLP", NsPerOp: 197906, BytesPerOp: 592, AllocsPerOp: 2},
+	{Name: "Trainsim/BSP/serial", NsPerOp: 25029167, BytesPerOp: 433457, AllocsPerOp: 4604},
+	{Name: "Trainsim/RNA/serial", NsPerOp: 14583790, BytesPerOp: 2290715, AllocsPerOp: 4823},
+}
+
+// trainBenchBatch matches the model-package benchmarks.
+const trainBenchBatch = 64
+
+func benchCase(name string, body func(b *testing.B)) trainBenchCase {
+	res := testing.Benchmark(body)
+	return trainBenchCase{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// benchGradient measures one model's Gradient over a fixed batch.
+func benchGradient(name string, m model.Model, ds *data.Dataset) trainBenchCase {
+	src := rng.New(3)
+	params := tensor.New(m.Dim())
+	m.Init(src, params)
+	grad := tensor.New(m.Dim())
+	batch := ds.Batch(src, trainBenchBatch)
+	return benchCase(name, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Gradient(params, grad, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// trainsimBenchConfig mirrors benchConfig in the trainsim benchmarks: an MLP
+// heavy enough that gradient computation dominates round bookkeeping.
+func trainsimBenchConfig(strategy trainsim.Strategy, parallelism int) (trainsim.Config, error) {
+	src := rng.New(11)
+	ds, err := data.Blobs(src, 10, 32, 100, 0.3)
+	if err != nil {
+		return trainsim.Config{}, err
+	}
+	m, err := model.NewMLP(ds, 32)
+	if err != nil {
+		return trainsim.Config{}, err
+	}
+	return trainsim.Config{
+		Strategy:      strategy,
+		Workers:       8,
+		Model:         m,
+		Dataset:       ds,
+		BatchSize:     32,
+		LR:            0.1,
+		Momentum:      0.9,
+		Step:          workload.Balanced{Base: 100 * time.Millisecond, Jitter: 0.05},
+		Spec:          workload.ResNet56(),
+		Comm:          workload.DefaultComm(),
+		MaxIterations: 15,
+		EvalEvery:     1 << 30,
+		Seed:          23,
+		Parallelism:   parallelism,
+	}, nil
+}
+
+func benchTrainsim(name string, strategy trainsim.Strategy, parallelism int) (trainBenchCase, error) {
+	cfg, err := trainsimBenchConfig(strategy, parallelism)
+	if err != nil {
+		return trainBenchCase{}, err
+	}
+	var benchErr error
+	c := benchCase(name, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := trainsim.Run(cfg); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return c, benchErr
+}
+
+// runTrainBench measures the recorded configurations and writes the JSON
+// report to outPath.
+func runTrainBench(outPath string) error {
+	src := rng.New(2)
+	blobs, err := data.Blobs(src, 10, 32, 100, 0.3)
+	if err != nil {
+		return err
+	}
+	logit, err := model.NewLogistic(blobs)
+	if err != nil {
+		return err
+	}
+	mlp, err := model.NewMLP(blobs, 64)
+	if err != nil {
+		return err
+	}
+	linDS, _, err := data.LinearData(src, 64, 512, 0.1)
+	if err != nil {
+		return err
+	}
+	lin, err := model.NewLinearRegression(linDS)
+	if err != nil {
+		return err
+	}
+
+	rep := trainBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: trainSeedBaseline}
+	progress := func(name string) { fmt.Fprintf(os.Stderr, "train bench: %s...\n", name) }
+
+	progress("ModelGradient/Logistic")
+	rep.Current = append(rep.Current, benchGradient("ModelGradient/Logistic", logit, blobs))
+	progress("ModelGradient/MLP")
+	rep.Current = append(rep.Current, benchGradient("ModelGradient/MLP", mlp, blobs))
+	progress("ModelGradient/LinReg")
+	rep.Current = append(rep.Current, benchGradient("ModelGradient/LinReg", lin, linDS))
+
+	progress("ModelLoss/MLP")
+	{
+		params := tensor.New(mlp.Dim())
+		mlp.Init(rng.New(3), params)
+		batch := blobs.Batch(rng.New(4), trainBenchBatch)
+		rep.Current = append(rep.Current, benchCase("ModelLoss/MLP", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mlp.Loss(params, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	engines := []struct {
+		name        string
+		strategy    trainsim.Strategy
+		parallelism int
+	}{
+		{"Trainsim/BSP/serial", trainsim.Horovod, 1},
+		{"Trainsim/BSP/parallel", trainsim.Horovod, 0},
+		{"Trainsim/RNA/serial", trainsim.RNA, 1},
+		{"Trainsim/RNA/parallel", trainsim.RNA, 0},
+	}
+	for _, e := range engines {
+		progress(e.name)
+		c, err := benchTrainsim(e.name, e.strategy, e.parallelism)
+		if err != nil {
+			return err
+		}
+		rep.Current = append(rep.Current, c)
+	}
+
+	cur := func(name string) int64 {
+		for _, c := range rep.Current {
+			if c.Name == name {
+				return c.NsPerOp
+			}
+		}
+		return 0
+	}
+	seed := func(name string) int64 {
+		for _, c := range rep.Seed {
+			if c.Name == name {
+				return c.NsPerOp
+			}
+		}
+		return 0
+	}
+	if ns := cur("ModelGradient/MLP"); ns > 0 {
+		rep.GateModelSpeedup = float64(seed("ModelGradient/MLP")) / float64(ns)
+	}
+	if ns := cur("Trainsim/BSP/parallel"); ns > 0 {
+		rep.GateTrainsimSpeedup = float64(cur("Trainsim/BSP/serial")) / float64(ns)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "train bench: wrote %s (GOMAXPROCS=%d, model gradient %.2fx vs seed, trainsim parallel %.2fx vs serial)\n",
+		outPath, rep.GOMAXPROCS, rep.GateModelSpeedup, rep.GateTrainsimSpeedup)
+	return nil
+}

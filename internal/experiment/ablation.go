@@ -23,16 +23,20 @@ func AblationProbes(opts Options) (*Report, error) {
 	inj := randomHetero()
 
 	headers := []string{"q", "time-to-target", "mean iter time", "null rate", "final acc"}
-	var table [][]string
-	for _, q := range []int{1, 2, 4, 8} {
-		cfg := s.baseConfig(trainsim.RNA, pm, workers, opts.iters(4000), opts.seed())
-		cfg.Injector = inj
-		cfg.TargetLoss = fig6Target
+	qs := []int{1, 2, 4, 8}
+	cfgs := make([]trainsim.Config, len(qs))
+	for i, q := range qs {
+		cfg := targetConfig(s, trainsim.RNA, pm, workers, opts.iters(4000), inj, opts.seed())
 		cfg.Probes = q
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, q := range qs {
+		res := results[i]
 		table = append(table, []string{
 			fmt.Sprint(q), fmtDur(res.VirtualTime), fmtDur(res.MeanIterTime()),
 			fmtPct(res.NullContribRate), fmtPct(res.TrainAcc),
@@ -57,16 +61,20 @@ func AblationStaleness(opts Options) (*Report, error) {
 	inj := randomHetero()
 
 	headers := []string{"bound", "time-to-target", "iters", "final loss", "final acc"}
-	var table [][]string
-	for _, bound := range []int{1, 2, 4, 8} {
-		cfg := s.baseConfig(trainsim.RNA, pm, workers, opts.iters(4000), opts.seed())
-		cfg.Injector = inj
-		cfg.TargetLoss = fig6Target
+	bounds := []int{1, 2, 4, 8}
+	cfgs := make([]trainsim.Config, len(bounds))
+	for i, bound := range bounds {
+		cfg := targetConfig(s, trainsim.RNA, pm, workers, opts.iters(4000), inj, opts.seed())
 		cfg.StalenessBound = bound
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, bound := range bounds {
+		res := results[i]
 		table = append(table, []string{
 			fmt.Sprint(bound), fmtDur(res.VirtualTime), fmt.Sprint(res.Iterations),
 			fmt.Sprintf("%.3f", res.FinalLoss), fmtPct(res.TrainAcc),
@@ -91,16 +99,20 @@ func AblationLRScale(opts Options) (*Report, error) {
 	inj := randomHetero()
 
 	headers := []string{"variant", "time-to-target", "reached", "final loss", "final acc"}
-	var table [][]string
-	for _, disabled := range []bool{false, true} {
-		cfg := s.baseConfig(trainsim.RNA, pm, workers, opts.iters(4000), opts.seed())
-		cfg.Injector = inj
-		cfg.TargetLoss = fig6Target
+	variants := []bool{false, true}
+	cfgs := make([]trainsim.Config, len(variants))
+	for i, disabled := range variants {
+		cfg := targetConfig(s, trainsim.RNA, pm, workers, opts.iters(4000), inj, opts.seed())
 		cfg.DisableLRScale = disabled
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, disabled := range variants {
+		res := results[i]
 		name := "with scaling (paper)"
 		key := "scaled"
 		if disabled {
@@ -161,25 +173,34 @@ func AblationCopyPath(opts Options) (*Report, error) {
 	inj := randomHetero()
 
 	headers := []string{"workload", "variant", "time-to-target", "copy share"}
-	var table [][]string
-	for _, pm := range []paperModel{paperModels()[1], transformerModel()} { // VGG16, Transformer
-		for _, variant := range []struct {
-			name            string
-			overlap, direct bool
-		}{
-			{"host copy (paper)", false, false},
-			{"layer-wise overlap", true, false},
-			{"direct GPU (NCCL)", false, true},
-		} {
-			cfg := s.baseConfig(trainsim.RNA, pm, workers, opts.iters(4000), opts.seed())
-			cfg.Injector = inj
-			cfg.TargetLoss = fig6Target
+	pms := []paperModel{paperModels()[1], transformerModel()} // VGG16, Transformer
+	variants := []struct {
+		name            string
+		overlap, direct bool
+	}{
+		{"host copy (paper)", false, false},
+		{"layer-wise overlap", true, false},
+		{"direct GPU (NCCL)", false, true},
+	}
+	var cfgs []trainsim.Config
+	for _, pm := range pms {
+		for _, variant := range variants {
+			cfg := targetConfig(s, trainsim.RNA, pm, workers, opts.iters(4000), inj, opts.seed())
 			cfg.LayerOverlap = variant.overlap
 			cfg.DirectGPU = variant.direct
-			res, err := trainsim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	next := 0
+	for _, pm := range pms {
+		for _, variant := range variants {
+			res := results[next]
+			next++
 			share := float64(res.CopyOverhead) / float64(res.VirtualTime)
 			table = append(table, []string{
 				pm.name, variant.name, fmtDur(res.VirtualTime), fmtPct(share),
@@ -209,16 +230,21 @@ func AblationPSFrequency(opts Options) (*Report, error) {
 	pm := paperModels()[0]
 
 	headers := []string{"exchange every", "time-to-target", "iters", "final acc"}
-	var table [][]string
-	for _, period := range []int{1, 2, 4, 8, 16} {
-		cfg := s.baseConfig(trainsim.RNAHierarchical, pm, workers, opts.iters(4000), opts.seed())
-		cfg.Injector = hetero.NewMixedGroups(workers)
-		cfg.TargetLoss = fig6Target
+	periods := []int{1, 2, 4, 8, 16}
+	cfgs := make([]trainsim.Config, len(periods))
+	for i, period := range periods {
+		cfg := targetConfig(s, trainsim.RNAHierarchical, pm, workers, opts.iters(4000),
+			hetero.NewMixedGroups(workers), opts.seed())
 		cfg.PSSyncEvery = period
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, period := range periods {
+		res := results[i]
 		table = append(table, []string{
 			fmt.Sprintf("%d group syncs", period), fmtDur(res.VirtualTime),
 			fmt.Sprint(res.Iterations), fmtPct(res.TrainAcc),

@@ -14,10 +14,30 @@ import (
 	"repro/internal/data"
 	"repro/internal/hetero"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/trainsim"
 	"repro/internal/workload"
 )
+
+// runConfigs executes independent training configurations concurrently over
+// the shared GOMAXPROCS-bounded pool, returning results in input order. Each
+// configuration is fully deterministic given its own seed (and the engines
+// are bit-identical at any parallelism), so fanning the runs out cannot
+// change a number any report prints.
+func runConfigs(cfgs []trainsim.Config) ([]*trainsim.Result, error) {
+	results := make([]*trainsim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallel.For(0, len(cfgs), func(i int) {
+		results[i], errs[i] = trainsim.Run(cfgs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
 
 // Options tunes an experiment run.
 type Options struct {

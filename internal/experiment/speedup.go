@@ -24,12 +24,12 @@ func fig6Strategies() []trainsim.Strategy {
 	}
 }
 
-// runToTarget executes one to-target training run and returns the result.
-func runToTarget(s *suite, strat trainsim.Strategy, pm paperModel, workers, capIters int, inj hetero.Injector, seed int64) (*trainsim.Result, error) {
+// targetConfig assembles one to-target training configuration.
+func targetConfig(s *suite, strat trainsim.Strategy, pm paperModel, workers, capIters int, inj hetero.Injector, seed int64) trainsim.Config {
 	cfg := s.baseConfig(strat, pm, workers, capIters, seed)
 	cfg.Injector = inj
 	cfg.TargetLoss = fig6Target
-	return trainsim.Run(cfg)
+	return cfg
 }
 
 // Fig6 reproduces the training-speedup comparison of Section 8.1: time to a
@@ -63,15 +63,24 @@ func Fig6(opts Options) (*Report, error) {
 	for _, st := range fig6Strategies() {
 		headers = append(headers, st.String())
 	}
+	var cfgs []trainsim.Config
+	for _, r := range rows {
+		for _, st := range fig6Strategies() {
+			cfgs = append(cfgs, targetConfig(s, st, r.pm, workers, capIters, r.inj, opts.seed()))
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var table [][]string
+	next := 0
 	for _, r := range rows {
 		cells := []string{r.name}
 		var baseline time.Duration
 		for _, st := range fig6Strategies() {
-			res, err := runToTarget(s, st, r.pm, workers, capIters, r.inj, opts.seed())
-			if err != nil {
-				return nil, err
-			}
+			res := results[next]
+			next++
 			if st == trainsim.Horovod {
 				baseline = res.VirtualTime
 			}
@@ -104,15 +113,17 @@ func Fig7(opts Options) (*Report, error) {
 
 	var body strings.Builder
 	headers := []string{"approach", "time-to-target", "iters", "final loss", "final acc"}
-	var table [][]string
+	var cfgs []trainsim.Config
 	for _, st := range strategiesUnderTest() {
-		cfg := s.baseConfig(st, lstm, workers, opts.iters(3000), opts.seed())
-		cfg.Injector = uniform
-		cfg.TargetLoss = fig6Target
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, targetConfig(s, st, lstm, workers, opts.iters(3000), uniform, opts.seed()))
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, st := range strategiesUnderTest() {
+		res := results[i]
 		table = append(table, []string{
 			st.String(), fmtDur(res.VirtualTime), fmt.Sprint(res.Iterations),
 			fmt.Sprintf("%.3f", res.FinalLoss), fmtPct(res.TrainAcc),

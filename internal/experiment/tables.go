@@ -49,9 +49,8 @@ func Table3(opts Options) (*Report, error) {
 	for _, c := range cols {
 		headers = append(headers, c.name)
 	}
-	var table [][]string
+	var cfgs []trainsim.Config
 	for _, st := range strategiesUnderTest() {
-		cells := []string{st.String()}
 		for _, c := range cols {
 			strat := st
 			// The paper pairs RNA with hierarchical synchronization in
@@ -61,10 +60,20 @@ func Table3(opts Options) (*Report, error) {
 			}
 			cfg := s.baseConfig(strat, c.pm, workers, iters, opts.seed())
 			cfg.Injector = c.inj
-			res, err := trainsim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	next := 0
+	for _, st := range strategiesUnderTest() {
+		cells := []string{st.String()}
+		for _, c := range cols {
+			res := results[next]
+			next++
 			cells = append(cells, fmtPct(res.TrainAcc))
 			rep.Metrics[fmt.Sprintf("acc/%s/%s", st, c.name)] = res.TrainAcc
 		}
@@ -99,16 +108,25 @@ func Table4(opts Options) (*Report, error) {
 	}
 
 	headers := []string{"model", "approach", "# of iterations", "top-1 acc.", "top-5 acc."}
-	var table [][]string
+	var cfgs []trainsim.Config
 	for _, c := range cols {
 		for _, st := range strategiesUnderTest() {
 			cfg := s.baseConfig(st, c.pm, workers, 0, opts.seed())
 			cfg.MaxTime = budget
 			cfg.Injector = uniform
-			res, err := trainsim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	next := 0
+	for _, c := range cols {
+		for _, st := range strategiesUnderTest() {
+			res := results[next]
+			next++
 			table = append(table, []string{
 				c.name, st.String(), fmt.Sprint(res.Iterations),
 				fmtPct(res.ValTop1), fmtPct(res.ValTop5),
@@ -142,14 +160,19 @@ func Table5(opts Options) (*Report, error) {
 
 	cols := fullModels()
 	headers := []string{"DL application", "measured extra cost", "analytic extra cost"}
-	var table [][]string
+	var cfgs []trainsim.Config
 	for _, pm := range cols {
 		cfg := s.baseConfig(trainsim.RNA, pm, workers, iters, opts.seed())
 		cfg.Comm = comm
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	for i, pm := range cols {
+		res := results[i]
 		measured := float64(res.CopyOverhead) / float64(res.VirtualTime)
 		copyPerIter := comm.RNACopyOverhead(pm.spec.GradientBytes())
 		ring := comm.RingAllReduce(workers, pm.spec.GradientBytes())

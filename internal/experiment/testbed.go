@@ -40,16 +40,22 @@ func Testbed(opts Options) (*Report, error) {
 	capIters := opts.iters(4000)
 
 	headers := []string{"approach", "time-to-target", "iters", "mean iter", "val top-1"}
-	var table [][]string
-	var baseline float64
-	for _, st := range fig6Strategies() {
+	strategies := fig6Strategies()
+	cfgs := make([]trainsim.Config, len(strategies))
+	for i, st := range strategies {
 		cfg := s.baseConfig(st, pm, len(factors), capIters, opts.seed())
 		cfg.SpeedFactors = factors
 		cfg.TargetLoss = fig6Target
-		res, err := trainsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	var baseline float64
+	for i, st := range strategies {
+		res := results[i]
 		if st == trainsim.Horovod {
 			baseline = res.VirtualTime.Seconds()
 		}

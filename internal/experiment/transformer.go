@@ -32,19 +32,25 @@ func Fig8(opts Options) (*Report, error) {
 		{"heterogeneous", randomHetero()},
 	}
 
+	var cfgs []trainsim.Config
+	for _, env := range envs {
+		for _, st := range strategiesUnderTest() {
+			cfgs = append(cfgs, targetConfig(s, st, pm, workers, capIters, env.inj, opts.seed()))
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var body strings.Builder
+	next := 0
 	for _, env := range envs {
 		headers := []string{"approach", "per-iter time", "per-iter speedup", "time-to-target", "overall speedup"}
 		var table [][]string
 		var basePerIter, baseOverall time.Duration
 		for _, st := range strategiesUnderTest() {
-			cfg := s.baseConfig(st, pm, workers, capIters, opts.seed())
-			cfg.Injector = env.inj
-			cfg.TargetLoss = fig6Target
-			res, err := trainsim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			res := results[next]
+			next++
 			if st == trainsim.Horovod {
 				basePerIter = res.MeanIterTime()
 				baseOverall = res.VirtualTime
@@ -86,17 +92,26 @@ func Fig9(opts Options) (*Report, error) {
 	for _, st := range strategiesUnderTest() {
 		headers = append(headers, st.String()+" it/s")
 	}
-	var table [][]string
-	finalAcc := map[string]float64{}
+	var cfgs []trainsim.Config
 	for _, n := range scales {
-		cells := []string{fmt.Sprint(n)}
 		for _, st := range strategiesUnderTest() {
 			cfg := s.baseConfig(st, pm, n, iters, opts.seed())
 			cfg.Injector = inj
-			res, err := trainsim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var table [][]string
+	finalAcc := map[string]float64{}
+	next := 0
+	for _, n := range scales {
+		cells := []string{fmt.Sprint(n)}
+		for _, st := range strategiesUnderTest() {
+			res := results[next]
+			next++
 			cells = append(cells, fmt.Sprintf("%.2f", res.Throughput()))
 			rep.Metrics[fmt.Sprintf("throughput/%d/%s", n, st)] = res.Throughput()
 			if n == scales[len(scales)-1] {

@@ -13,7 +13,7 @@ import (
 
 // Logistic is multinomial logistic (softmax) regression over a
 // classification Dataset. Parameters are laid out as C rows of (F weights)
-// followed by C biases: dim = C·F + C.
+// followed by C biases: dim = C·F + C. Stateless: safe for concurrent use.
 type Logistic struct {
 	ds *data.Dataset
 }
@@ -34,16 +34,12 @@ func NewLogistic(ds *data.Dataset) (*Logistic, error) {
 // Dim implements Model.
 func (m *Logistic) Dim() int { return m.ds.Classes*m.ds.Features + m.ds.Classes }
 
-// logits computes the raw class scores of one example into out.
+// logits computes the raw class scores of one example into out: one dot
+// product per class row plus the bias.
 func (m *Logistic) logits(params tensor.Vector, x tensor.Vector, out []float64) {
 	f, c := m.ds.Features, m.ds.Classes
 	for k := 0; k < c; k++ {
-		s := params[c*f+k] // bias
-		row := params[k*f : (k+1)*f]
-		for j, xj := range x {
-			s += row[j] * xj
-		}
-		out[k] = s
+		out[k] = params[c*f+k] + tensor.Dot(params[k*f:(k+1)*f], x)
 	}
 }
 
@@ -73,7 +69,10 @@ func (m *Logistic) Loss(params tensor.Vector, batch []int) (float64, error) {
 	if len(batch) == 0 {
 		return 0, errors.New("model: empty batch")
 	}
-	probs := make([]float64, m.ds.Classes)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.probs = grow(ws.probs, m.ds.Classes)
+	probs := ws.probs
 	var loss float64
 	for _, idx := range batch {
 		if idx < 0 || idx >= m.ds.Len() {
@@ -91,7 +90,8 @@ func (m *Logistic) Loss(params tensor.Vector, batch []int) (float64, error) {
 	return loss / float64(len(batch)), nil
 }
 
-// Gradient implements Model.
+// Gradient implements Model. Per-example row updates run through the fused
+// Axpy kernel; examples accumulate in batch order.
 func (m *Logistic) Gradient(params, grad tensor.Vector, batch []int) (float64, error) {
 	if len(params) != m.Dim() || len(grad) != m.Dim() {
 		return 0, tensor.ErrShapeMismatch
@@ -101,7 +101,10 @@ func (m *Logistic) Gradient(params, grad tensor.Vector, batch []int) (float64, e
 	}
 	grad.Zero()
 	f, c := m.ds.Features, m.ds.Classes
-	probs := make([]float64, c)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.probs = grow(ws.probs, c)
+	probs := ws.probs
 	var loss float64
 	inv := 1 / float64(len(batch))
 	for _, idx := range batch {
@@ -121,10 +124,7 @@ func (m *Logistic) Gradient(params, grad tensor.Vector, batch []int) (float64, e
 			if k == ex.Label {
 				delta--
 			}
-			row := grad[k*f : (k+1)*f]
-			for j, xj := range ex.X {
-				row[j] += delta * xj * inv
-			}
+			tensor.Axpy(grad[k*f:(k+1)*f], delta*inv, ex.X)
 			grad[c*f+k] += delta * inv
 		}
 	}
@@ -159,8 +159,11 @@ func accuracy(batch []int, ds *data.Dataset, k int, score func(tensor.Vector, []
 	if k > ds.Classes {
 		k = ds.Classes
 	}
-	scores := make([]float64, ds.Classes)
-	order := make([]int, ds.Classes)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.probs = grow(ws.probs, ds.Classes)
+	ws.order = growInts(ws.order, ds.Classes)
+	scores, order := ws.probs, ws.order
 	var top1, topK int
 	for _, idx := range batch {
 		if idx < 0 || idx >= ds.Len() {

@@ -13,6 +13,7 @@ import (
 // MLP is a one-hidden-layer tanh network with a softmax output — the
 // non-convex objective standing in for the paper's deep models. Parameter
 // layout: W1 (H rows of F) ++ b1 (H) ++ W2 (C rows of H) ++ b2 (C).
+// Stateless: safe for concurrent use.
 type MLP struct {
 	ds     *data.Dataset
 	hidden int
@@ -58,25 +59,17 @@ func (m *MLP) slices(params tensor.Vector) (w1, b1, w2, b2 tensor.Vector) {
 	return w1, b1, w2, b2
 }
 
-// forward computes hidden activations and logits for one example.
+// forward computes hidden activations and logits for one example: each unit
+// is one dot product against the example (layer 1) or the activations
+// (layer 2).
 func (m *MLP) forward(params tensor.Vector, x tensor.Vector, hid, logits []float64) {
 	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
 	w1, b1, w2, b2 := m.slices(params)
 	for j := 0; j < h; j++ {
-		s := b1[j]
-		row := w1[j*f : (j+1)*f]
-		for i, xi := range x {
-			s += row[i] * xi
-		}
-		hid[j] = math.Tanh(s)
+		hid[j] = math.Tanh(b1[j] + tensor.Dot(w1[j*f:(j+1)*f], x))
 	}
 	for k := 0; k < c; k++ {
-		s := b2[k]
-		row := w2[k*h : (k+1)*h]
-		for j := 0; j < h; j++ {
-			s += row[j] * hid[j]
-		}
-		logits[k] = s
+		logits[k] = b2[k] + tensor.Dot(w2[k*h:(k+1)*h], hid)
 	}
 }
 
@@ -88,8 +81,11 @@ func (m *MLP) Loss(params tensor.Vector, batch []int) (float64, error) {
 	if len(batch) == 0 {
 		return 0, errors.New("model: empty batch")
 	}
-	hid := make([]float64, m.hidden)
-	probs := make([]float64, m.ds.Classes)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.hid = grow(ws.hid, m.hidden)
+	ws.probs = grow(ws.probs, m.ds.Classes)
+	hid, probs := ws.hid, ws.probs
 	var loss float64
 	for _, idx := range batch {
 		if idx < 0 || idx >= m.ds.Len() {
@@ -107,7 +103,9 @@ func (m *MLP) Loss(params tensor.Vector, batch []int) (float64, error) {
 	return loss / float64(len(batch)), nil
 }
 
-// Gradient implements Model (exact backprop).
+// Gradient implements Model (exact backprop). Row updates and the hidden
+// delta accumulation run through the fused Axpy kernel; examples accumulate
+// in batch order.
 func (m *MLP) Gradient(params, grad tensor.Vector, batch []int) (float64, error) {
 	if len(params) != m.Dim() || len(grad) != m.Dim() {
 		return 0, tensor.ErrShapeMismatch
@@ -119,9 +117,12 @@ func (m *MLP) Gradient(params, grad tensor.Vector, batch []int) (float64, error)
 	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
 	_, _, w2, _ := m.slices(params)
 	gw1, gb1, gw2, gb2 := m.slices(grad)
-	hid := make([]float64, h)
-	probs := make([]float64, c)
-	deltaH := make([]float64, h)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.hid = grow(ws.hid, h)
+	ws.probs = grow(ws.probs, c)
+	ws.deltaH = grow(ws.deltaH, h)
+	hid, probs, deltaH := ws.hid, ws.probs, ws.deltaH
 	inv := 1 / float64(len(batch))
 	var loss float64
 	for _, idx := range batch {
@@ -145,20 +146,13 @@ func (m *MLP) Gradient(params, grad tensor.Vector, batch []int) (float64, error)
 			if k == ex.Label {
 				d--
 			}
-			row := gw2[k*h : (k+1)*h]
-			w2row := w2[k*h : (k+1)*h]
-			for j := 0; j < h; j++ {
-				row[j] += d * hid[j] * inv
-				deltaH[j] += d * w2row[j]
-			}
+			tensor.Axpy(gw2[k*h:(k+1)*h], d*inv, hid)
+			tensor.Axpy(deltaH, d, w2[k*h:(k+1)*h])
 			gb2[k] += d * inv
 		}
 		for j := 0; j < h; j++ {
 			dh := deltaH[j] * (1 - hid[j]*hid[j])
-			row := gw1[j*f : (j+1)*f]
-			for i, xi := range ex.X {
-				row[i] += dh * xi * inv
-			}
+			tensor.Axpy(gw1[j*f:(j+1)*f], dh*inv, ex.X)
 			gb1[j] += dh * inv
 		}
 	}
@@ -189,7 +183,10 @@ func (m *MLP) Accuracy(params tensor.Vector, batch []int, k int) (float64, float
 	if len(batch) == 0 {
 		return 0, 0, errors.New("model: empty batch")
 	}
-	hid := make([]float64, m.hidden)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.hid = grow(ws.hid, m.hidden)
+	hid := ws.hid
 	return accuracy(batch, m.ds, k, func(x tensor.Vector, scores []float64) {
 		m.forward(params, x, hid, scores)
 	})

@@ -4,6 +4,10 @@
 // and a one-hidden-layer MLP (non-convex, the stand-in for deep networks).
 // All models expose exact gradients over mini-batches; the test suite
 // verifies them against finite differences.
+//
+// The gradient/loss inner loops run on the tensor kernels (Dot/Axpy), and
+// per-call scratch comes from pooled workspaces, so a single model instance
+// supports the training engine's concurrent per-worker fan-out.
 package model
 
 import (
@@ -20,6 +24,16 @@ import (
 var ErrBadBatch = errors.New("model: bad batch index")
 
 // Model is a differentiable training objective over a dataset.
+//
+// Thread safety: Loss, Gradient and Accuracy must be safe to call
+// concurrently on a single instance, provided each call owns its params and
+// grad vectors. Implementations keep no shared mutable scratch (per-call
+// buffers come from pooled workspaces). The one sanctioned exception is
+// internal randomness: a model whose Gradient draws noise (Quadratic) holds
+// a private stream and additionally implements WorkerCloner; engines that
+// fan gradient calls out across simulated workers must give each worker its
+// own clone via ForWorker, both for safety and so every worker gets an
+// independent, deterministically seeded noise stream.
 type Model interface {
 	// Dim returns the parameter dimensionality.
 	Dim() int
@@ -40,10 +54,37 @@ type Classifier interface {
 	Accuracy(params tensor.Vector, batch []int, k int) (top1, topK float64, err error)
 }
 
+// WorkerCloner is implemented by models with internal mutable state (noise
+// streams) that therefore cannot share one instance across concurrently
+// running simulated workers.
+type WorkerCloner interface {
+	Model
+	// CloneForWorker returns a model with the same objective but an
+	// independent noise stream derived deterministically from the worker
+	// index. It is a pure function of the receiver's immutable base
+	// seed: concurrent or repeated calls yield identical clones.
+	CloneForWorker(worker int) Model
+}
+
+// ForWorker returns the model instance simulated worker `worker` should
+// compute gradients with: a per-worker clone when m carries internal
+// randomness, and m itself for stateless models.
+func ForWorker(m Model, worker int) Model {
+	if c, ok := m.(WorkerCloner); ok {
+		return c.CloneForWorker(worker)
+	}
+	return m
+}
+
 // Quadratic is the noisy strongly convex objective
 // f(x) = ½ Σ aᵢ(xᵢ−x*ᵢ)²; Gradient adds N(0, noise²) per coordinate,
 // modeling mini-batch gradient variance σ² with an analytic optimum.
 // Batches are ignored.
+//
+// The noise stream is private mutable state: a single Quadratic is safe
+// for sequential use only. Concurrent engines take per-worker clones via
+// CloneForWorker, each with an independent stream derived from the same
+// immutable base seed.
 type Quadratic struct {
 	// Curvature holds the positive diagonal aᵢ.
 	Curvature tensor.Vector
@@ -52,10 +93,14 @@ type Quadratic struct {
 	// Noise is the per-coordinate gradient noise stddev.
 	Noise float64
 
-	src *rng.Source
+	// noiseSeed is the immutable base of the gradient-noise streams; src
+	// is this instance's private stream.
+	noiseSeed int64
+	src       *rng.Source
 }
 
 var _ Model = (*Quadratic)(nil)
+var _ WorkerCloner = (*Quadratic)(nil)
 
 // NewQuadratic builds a Quadratic with curvatures log-spaced in
 // [1, condition] (condition number controls hardness) and a random optimum.
@@ -66,11 +111,13 @@ func NewQuadratic(src *rng.Source, dim int, condition, noise float64) (*Quadrati
 	if condition < 1 {
 		return nil, fmt.Errorf("model: condition %v < 1", condition)
 	}
+	noiseSeed := rng.Mix(src.Int63(), 1)
 	q := &Quadratic{
 		Curvature: tensor.New(dim),
 		Optimum:   tensor.New(dim),
 		Noise:     noise,
-		src:       src.Split(1),
+		noiseSeed: noiseSeed,
+		src:       rng.New(noiseSeed),
 	}
 	for i := range q.Curvature {
 		frac := 0.0
@@ -81,6 +128,21 @@ func NewQuadratic(src *rng.Source, dim int, condition, noise float64) (*Quadrati
 		q.Optimum[i] = src.Normal(0, 1)
 	}
 	return q, nil
+}
+
+// CloneForWorker implements WorkerCloner: the clone shares the (read-only)
+// curvature and optimum but owns a noise stream seeded purely from
+// (noiseSeed, worker), so cloning mutates nothing and is itself
+// concurrency-safe.
+func (q *Quadratic) CloneForWorker(worker int) Model {
+	seed := rng.Mix(q.noiseSeed, worker+1)
+	return &Quadratic{
+		Curvature: q.Curvature,
+		Optimum:   q.Optimum,
+		Noise:     q.Noise,
+		noiseSeed: seed,
+		src:       rng.New(seed),
+	}
 }
 
 // Dim implements Model.
@@ -121,7 +183,7 @@ func (q *Quadratic) Init(src *rng.Source, params tensor.Vector) {
 }
 
 // LinearRegression is mean-squared-error linear regression over a Dataset
-// (params = weights ++ bias).
+// (params = weights ++ bias). Stateless: safe for concurrent use.
 type LinearRegression struct {
 	ds *data.Dataset
 }
@@ -140,11 +202,7 @@ func NewLinearRegression(ds *data.Dataset) (*LinearRegression, error) {
 func (m *LinearRegression) Dim() int { return m.ds.Features + 1 }
 
 func (m *LinearRegression) predict(params tensor.Vector, x tensor.Vector) float64 {
-	y := params[m.ds.Features]
-	for j, xj := range x {
-		y += params[j] * xj
-	}
-	return y
+	return params[m.ds.Features] + tensor.Dot(params[:m.ds.Features], x)
 }
 
 // Loss implements Model: ½·mean squared error.
@@ -167,7 +225,8 @@ func (m *LinearRegression) Loss(params tensor.Vector, batch []int) (float64, err
 	return loss / float64(len(batch)), nil
 }
 
-// Gradient implements Model.
+// Gradient implements Model. Per-example contributions accumulate in batch
+// order via the fused Axpy kernel.
 func (m *LinearRegression) Gradient(params, grad tensor.Vector, batch []int) (float64, error) {
 	if len(params) != m.Dim() || len(grad) != m.Dim() {
 		return 0, tensor.ErrShapeMismatch
@@ -178,6 +237,7 @@ func (m *LinearRegression) Gradient(params, grad tensor.Vector, batch []int) (fl
 	grad.Zero()
 	var loss float64
 	inv := 1 / float64(len(batch))
+	gw := grad[:m.ds.Features]
 	for _, idx := range batch {
 		if idx < 0 || idx >= m.ds.Len() {
 			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
@@ -185,9 +245,7 @@ func (m *LinearRegression) Gradient(params, grad tensor.Vector, batch []int) (fl
 		ex := m.ds.Examples[idx]
 		r := m.predict(params, ex.X) - ex.Target
 		loss += 0.5 * r * r
-		for j, xj := range ex.X {
-			grad[j] += r * xj * inv
-		}
+		tensor.Axpy(gw, r*inv, ex.X)
 		grad[m.ds.Features] += r * inv
 	}
 	return loss * inv, nil

@@ -1,0 +1,134 @@
+// Package parallel provides the bounded worker pool behind every CPU-bound
+// fan-out in the repository: per-round gradient computation in the training
+// engine, deferred gradient futures in AD-PSGD, and whole-simulation
+// concurrency in the experiment drivers.
+//
+// All layers share one global token bucket sized to GOMAXPROCS, so nesting
+// (an experiment running many simulations, each fanning out per-worker
+// gradients) never oversubscribes the machine. Acquisition is strictly
+// non-blocking and the caller always participates in its own work, which
+// makes nested fan-outs deadlock-free by construction: when no tokens are
+// available the work simply runs on the calling goroutine.
+//
+// The pool makes no ordering promises. Callers that need determinism must
+// write results into index-addressed slots and merge them in a fixed order
+// afterwards — which is exactly how the training engine stays bit-identical
+// to its serial counterpart.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the global bucket bounding extra worker goroutines. Capacity
+// GOMAXPROCS-1: the calling goroutine is always one of the workers, so with
+// a full bucket the process runs at most GOMAXPROCS CPU-bound goroutines
+// per concurrent call tree.
+var tokens = make(chan struct{}, maxTokens())
+
+func maxTokens() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// tryAcquire takes a worker token without blocking.
+func tryAcquire() bool {
+	select {
+	case tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a worker token.
+func release() { <-tokens }
+
+// Workers returns the maximum number of goroutines a fan-out may use
+// (callers plus helper tokens) — GOMAXPROCS at process start.
+func Workers() int { return cap(tokens) + 1 }
+
+// For runs fn(i) for every i in [0, n), fanning out over the global pool.
+// The caller participates; up to limit-1 extra goroutines are spawned while
+// tokens are available (limit <= 0 means no extra cap beyond the pool).
+// For returns only after every invocation completed. Invocation order is
+// unspecified; fn must be safe for concurrent calls with distinct i.
+func For(limit, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	helpers := n - 1
+	if limit > 0 && limit-1 < helpers {
+		helpers = limit - 1
+	}
+	if n == 1 || helpers <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		if !tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Task is a unit of deferred work started with Spawn. Exactly one of two
+// things happens: the function runs on a pooled goroutine before Wait, or
+// it runs synchronously inside Wait. Either way the function's effects are
+// visible to the caller after Wait returns.
+type Task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Spawn starts fn on the pool if a token is free; otherwise the work is
+// deferred until Wait. fn must not itself call Wait on this task.
+func Spawn(fn func()) *Task {
+	t := &Task{fn: fn}
+	if tryAcquire() {
+		t.done = make(chan struct{})
+		go func() {
+			defer release()
+			defer close(t.done)
+			fn()
+		}()
+	}
+	return t
+}
+
+// Wait blocks until the task's function has completed, running it on the
+// calling goroutine when no pooled worker picked it up. Wait must be called
+// exactly once.
+func (t *Task) Wait() {
+	if t.done != nil {
+		<-t.done
+		return
+	}
+	t.fn()
+}

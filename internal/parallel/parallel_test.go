@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		hits := make([]int32, n)
+		For(0, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForLimitOneIsSerial(t *testing.T) {
+	// With limit 1 no helpers are spawned: execution is strictly in-order
+	// on the calling goroutine.
+	var order []int
+	For(1, 10, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("limit-1 execution out of order: %v", order)
+		}
+	}
+}
+
+func TestForNested(t *testing.T) {
+	// Nested fan-outs must complete without deadlock and cover all work.
+	var total int64
+	For(0, 8, func(i int) {
+		For(0, 8, func(j int) {
+			atomic.AddInt64(&total, 1)
+		})
+	})
+	if total != 64 {
+		t.Fatalf("nested total = %d, want 64", total)
+	}
+}
+
+func TestSpawnWaitRunsExactlyOnce(t *testing.T) {
+	var runs int64
+	tasks := make([]*Task, 50)
+	for i := range tasks {
+		tasks[i] = Spawn(func() { atomic.AddInt64(&runs, 1) })
+	}
+	for _, task := range tasks {
+		task.Wait()
+	}
+	if runs != 50 {
+		t.Fatalf("spawned work ran %d times, want 50", runs)
+	}
+}
+
+func TestSpawnEffectsVisibleAfterWait(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x := 0
+		task := Spawn(func() { x = 42 })
+		task.Wait()
+		if x != 42 {
+			t.Fatal("task effects not visible after Wait")
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

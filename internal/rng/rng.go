@@ -25,14 +25,25 @@ func New(seed int64) *Source {
 // Split(i) of an identically seeded Source always yields the same stream.
 // Typical use is one child per simulated worker.
 func (s *Source) Split(i int) *Source {
-	// SplitMix-style mixing keeps child seeds well separated even for
-	// consecutive i.
-	z := uint64(s.seedMix()) + uint64(i)*0x9E3779B97F4A7C15
+	return New(Mix(s.seedMix(), i))
+}
+
+// Mix deterministically derives a child seed from (seed, i) with
+// SplitMix-style mixing, keeping child seeds well separated even for
+// consecutive i. Unlike Split it is a pure function: callers that must
+// derive streams concurrently (e.g. per-worker model clones) can hold a
+// base seed and Mix it without any shared mutable state.
+func Mix(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return New(int64(z))
+	return int64(z)
 }
+
+// Int63 draws a raw non-negative 63-bit value, advancing the stream by one
+// step. It is the seed-capture primitive behind clonable model noise.
+func (s *Source) Int63() int64 { return s.r.Int63() }
 
 // seedMix draws a raw value without disturbing distribution state more than
 // one step; used only by Split.

@@ -67,6 +67,16 @@ func axpyVec(a []float64, c float64, b []float64) {
 	}
 }
 
+// Axpy computes a[i] += c*b[i] over raw slices with no shape checking — the
+// unchecked form of Vector.AddScaled for hot loops (model backprop) whose
+// slice lengths are fixed by construction. b must be at least as long as a.
+func Axpy(a []float64, c float64, b []float64) { axpyVec(a, c, b) }
+
+// Dot returns Σ a[i]*b[i] over raw slices with no shape checking — the
+// unchecked form of Vector.Dot for hot loops. b must be at least as long
+// as a.
+func Dot(a, b []float64) float64 { return dotVec(a, b) }
+
 // dotVec returns Σ a[i]*b[i] using four independent accumulators, breaking
 // the serial-add dependency chain. The summation order differs from a naive
 // left-to-right fold by at most the usual FP reassociation error.

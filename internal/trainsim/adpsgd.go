@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -19,11 +21,20 @@ type adWorker struct {
 	velocity tensor.Vector
 	snapshot tensor.Vector // parameters at compute start
 	grad     tensor.Vector
+	mdl      model.Model
 
 	batchSrc *rng.Source
 	stepSrc  *rng.Source
 	delaySrc *rng.Source
 	peerSrc  *rng.Source
+
+	// batch and gradTask carry one in-flight gradient future: the batch is
+	// drawn and the computation launched at compute start (the snapshot is
+	// a private copy, so the gossip loop can keep mutating params), and
+	// the future is awaited when the virtual compute finishes.
+	batch    []int
+	gradTask *parallel.Task
+	gradErr  error
 
 	iters   int
 	compute time.Duration
@@ -61,6 +72,7 @@ func runADPSGD(cfg Config) (*Result, error) {
 			velocity: tensor.New(dim),
 			snapshot: tensor.New(dim),
 			grad:     tensor.New(dim),
+			mdl:      model.ForWorker(cfg.Model, w),
 			batchSrc: root.Split(100 + w),
 			stepSrc:  root.Split(200 + w),
 			delaySrc: root.Split(300 + w),
@@ -111,6 +123,14 @@ func runADPSGD(cfg Config) (*Result, error) {
 
 	startCompute = func(w *adWorker) {
 		copy(w.snapshot, w.params)
+		w.batch = cfg.Dataset.Batch(w.batchSrc, cfg.BatchSize)
+		if cfg.parallel() {
+			// Launch the gradient as a future over the snapshot; the
+			// event loop advances other workers meanwhile.
+			w.gradTask = parallel.Spawn(func() {
+				_, w.gradErr = w.mdl.Gradient(w.snapshot, w.grad, w.batch)
+			})
+		}
 		dur := time.Duration(float64(cfg.Step.Sample(w.stepSrc))*cfg.speedFactor(w.id)) +
 			inj.Delay(w.delaySrc, w.id, w.iters)
 		w.compute += dur
@@ -119,12 +139,17 @@ func runADPSGD(cfg Config) (*Result, error) {
 				Start: eng.Now(), End: eng.Now() + dur, Iter: int64(w.iters)})
 		}
 		eng.After(dur, func() {
-			// Compute finished: gradient ready, request atomic
+			// Compute finished: settle the gradient, then request atomic
 			// averaging with a random peer (queueing on busy locks).
 			now := eng.Now()
-			batch := cfg.Dataset.Batch(w.batchSrc, cfg.BatchSize)
-			if _, err := cfg.Model.Gradient(w.snapshot, w.grad, batch); err != nil {
-				fail(err)
+			if w.gradTask != nil {
+				w.gradTask.Wait()
+				w.gradTask = nil
+			} else if _, err := w.mdl.Gradient(w.snapshot, w.grad, w.batch); err != nil {
+				w.gradErr = err
+			}
+			if w.gradErr != nil {
+				fail(w.gradErr)
 				return
 			}
 			pid := w.peerSrc.Choice(cfg.Workers, w.id)
@@ -194,8 +219,17 @@ func runADPSGD(cfg Config) (*Result, error) {
 	for _, w := range workers {
 		startCompute(w)
 	}
-	if err := eng.Run(0); err != nil && simErr == nil && err != sim.ErrStopped {
-		return nil, err
+	runErr := eng.Run(0)
+	// Early stops (target hit, MaxTime, failure) can leave gradient
+	// futures in flight; settle them before returning.
+	for _, w := range workers {
+		if w.gradTask != nil {
+			w.gradTask.Wait()
+			w.gradTask = nil
+		}
+	}
+	if runErr != nil && simErr == nil && runErr != sim.ErrStopped {
+		return nil, runErr
 	}
 	if simErr != nil {
 		return nil, simErr

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/opt"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -16,6 +17,11 @@ import (
 // averages the gradients, and everyone steps. The per-worker wait time —
 // the "long-tail effect" the paper targets — is the gap between a worker's
 // finish and the barrier.
+//
+// Within a round the per-worker gradients are independent (each worker owns
+// its batch stream, model clone and scratch gradient), so they fan out over
+// the shared pool; the reduction then merges them in rank order, keeping
+// the result bit-identical to the serial engine.
 func runBSP(cfg Config) (*Result, error) {
 	root := rng.New(cfg.Seed)
 	probeSrc := root.Split(0)
@@ -48,12 +54,23 @@ func runBSP(cfg Config) (*Result, error) {
 		res.Trace = &trace.Trace{}
 	}
 
-	grad := tensor.New(dim)
+	ids := make([]int, cfg.Workers)
+	for w := range ids {
+		ids[w] = w
+	}
+	models := workerModels(cfg.Model, ids)
+	grads := make([]tensor.Vector, cfg.Workers)
+	for w := range grads {
+		grads[w] = tensor.New(dim)
+	}
+	batches := make([][]int, cfg.Workers)
+	gradErrs := make([]error, cfg.Workers)
 	sum := tensor.New(dim)
 	var now time.Duration
 	for k := 0; k < cfg.maxIterations(); k++ {
-		// Compute phase: all workers start from the barrier.
-		sum.Zero()
+		// Compute phase: all workers start from the barrier. Timing and
+		// batch draws stay serial (fixed RNG order); the gradient bodies
+		// fan out below.
 		var fire time.Duration
 		ready := make([]time.Duration, cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
@@ -64,16 +81,29 @@ func runBSP(cfg Config) (*Result, error) {
 				fire = ready[w]
 			}
 			res.Breakdowns[w].Compute += dur
-			batch := cfg.Dataset.Batch(batchSrcs[w], cfg.BatchSize)
-			if _, err := cfg.Model.Gradient(params, grad, batch); err != nil {
-				return nil, err
-			}
-			if err := sum.Add(grad); err != nil {
-				return nil, err
-			}
+			batches[w] = cfg.Dataset.Batch(batchSrcs[w], cfg.BatchSize)
 			if res.Trace != nil {
 				res.Trace.Add(trace.Span{Worker: w, Kind: trace.SpanCompute,
 					Start: now, End: ready[w], Iter: int64(k)})
+			}
+		}
+		compute := func(w int) {
+			_, gradErrs[w] = models[w].Gradient(params, grads[w], batches[w])
+		}
+		if cfg.parallel() {
+			parallel.For(cfg.fanout(), cfg.Workers, compute)
+		} else {
+			for w := 0; w < cfg.Workers; w++ {
+				compute(w)
+			}
+		}
+		sum.Zero()
+		for w := 0; w < cfg.Workers; w++ {
+			if gradErrs[w] != nil {
+				return nil, gradErrs[w]
+			}
+			if err := sum.Add(grads[w]); err != nil {
+				return nil, err
 			}
 		}
 		commCost := cfg.Comm.RingAllReduce(cfg.Workers, cfg.Spec.GradientBytes())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -71,19 +72,24 @@ func ResponseTimes(n, choices, iters int, lo, hi time.Duration, load float64, se
 }
 
 // ProbeSweep runs ResponseTimes for each probe count and returns the
-// box-plot summaries — the series of Fig. 10.
+// box-plot summaries — the series of Fig. 10. The per-q simulations carry
+// independent RNG streams, so they fan out over the shared pool.
 func ProbeSweep(n, iters int, choices []int, lo, hi time.Duration, load float64, seed int64) (map[int]stats.BoxPlot, error) {
+	boxes := make([]stats.BoxPlot, len(choices))
+	errs := make([]error, len(choices))
+	parallel.For(0, len(choices), func(i int) {
+		s, err := ResponseTimes(n, choices[i], iters, lo, hi, load, seed)
+		if err == nil {
+			boxes[i], err = s.Box()
+		}
+		errs[i] = err
+	})
 	out := make(map[int]stats.BoxPlot, len(choices))
-	for _, q := range choices {
-		s, err := ResponseTimes(n, q, iters, lo, hi, load, seed)
-		if err != nil {
-			return nil, err
+	for i, q := range choices {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		box, err := s.Box()
-		if err != nil {
-			return nil, err
-		}
-		out[q] = box
+		out[q] = boxes[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,115 @@
+package trainsim
+
+import (
+	"testing"
+
+	"repro/internal/hetero"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// assertIdentical fails unless two results are bit-identical in every field
+// the engines compute numerically.
+func assertIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.VirtualTime != b.VirtualTime {
+		t.Errorf("%s: virtual time %v vs %v", label, a.VirtualTime, b.VirtualTime)
+	}
+	if a.Iterations != b.Iterations {
+		t.Errorf("%s: iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+	if a.FinalLoss != b.FinalLoss {
+		t.Errorf("%s: final loss %v vs %v", label, a.FinalLoss, b.FinalLoss)
+	}
+	if !a.FinalParams.Equal(b.FinalParams, 0) {
+		t.Errorf("%s: final params differ", label)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("%s: curve lengths %d vs %d", label, len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Errorf("%s: curve[%d] %+v vs %+v", label, i, a.Curve[i], b.Curve[i])
+		}
+	}
+	if len(a.Breakdowns) != len(b.Breakdowns) {
+		t.Fatalf("%s: breakdown counts %d vs %d", label, len(a.Breakdowns), len(b.Breakdowns))
+	}
+	for i := range a.Breakdowns {
+		if a.Breakdowns[i] != b.Breakdowns[i] {
+			t.Errorf("%s: breakdown[%d] %+v vs %+v", label, i, a.Breakdowns[i], b.Breakdowns[i])
+		}
+	}
+	if a.NullContribRate != b.NullContribRate {
+		t.Errorf("%s: null rate %v vs %v", label, a.NullContribRate, b.NullContribRate)
+	}
+	if a.CopyOverhead != b.CopyOverhead {
+		t.Errorf("%s: copy overhead %v vs %v", label, a.CopyOverhead, b.CopyOverhead)
+	}
+}
+
+// TestSerialParallelIdentical is the parallel engine's contract: for every
+// strategy, the fanned-out engine (Parallelism 0, the default) and a width
+// cap (Parallelism 4) produce results bit-identical to the serial reference
+// engine (Parallelism 1).
+func TestSerialParallelIdentical(t *testing.T) {
+	strategies := []Strategy{Horovod, RNA, RNAHierarchical, EagerSGD, EagerSGDSolo, ADPSGD}
+	for _, s := range strategies {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			build := func(par int) Config {
+				cfg := testConfig(t, s, 6, 60)
+				// Mixed-speed groups so hierarchical actually partitions
+				// (and the others face real stragglers).
+				cfg.Injector = hetero.NewMixedGroups(6)
+				cfg.Parallelism = par
+				return cfg
+			}
+			serial, err := Run(build(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := Run(build(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			capped, err := Run(build(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, "pooled vs serial", pooled, serial)
+			assertIdentical(t, "capped vs serial", capped, serial)
+		})
+	}
+}
+
+// TestSerialParallelIdenticalQuadratic pins the WorkerCloner path: the noisy
+// quadratic draws gradient noise from per-worker streams, which must line up
+// between the serial and parallel engines.
+func TestSerialParallelIdenticalQuadratic(t *testing.T) {
+	build := func(strategy Strategy, par int) Config {
+		cfg := testConfig(t, strategy, 4, 40)
+		q, err := model.NewQuadratic(rng.New(5), 20, 50, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Model = q
+		cfg.EvalSet = nil
+		cfg.Parallelism = par
+		return cfg
+	}
+	for _, s := range []Strategy{Horovod, RNA, ADPSGD} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			serial, err := Run(build(s, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := Run(build(s, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, "pooled vs serial", pooled, serial)
+		})
+	}
+}

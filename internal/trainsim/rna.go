@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/model"
 	"repro/internal/opt"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -23,6 +25,21 @@ type gradEntry struct {
 	grad tensor.Vector
 }
 
+// pendingGrad is a gradient computation whose schedule-time inputs (the
+// parameter version visible at compute start and the batch draw) have been
+// fixed but whose numeric work is deferred to the next flush, where it can
+// run concurrently with other workers' pending computations.
+type pendingGrad struct {
+	// version is an immutable parameter snapshot from the timeline.
+	version tensor.Vector
+	batch   []int
+	// out receives the gradient; it is already referenced by the worker's
+	// buffer entry.
+	out tensor.Vector
+	// iter is the worker-local produce index, for error messages.
+	iter int64
+}
+
 // simWorker is one worker's compute thread in the partial-collective
 // simulation: it produces gradients continuously, bounded by the staleness
 // window, buffering them until a synchronization consumes (or drops) them.
@@ -35,9 +52,19 @@ type simWorker struct {
 	// replies and the bounded-delay gate are iteration-tagged against it.
 	readyAt []time.Duration
 
+	// mdl is this worker's model instance (a per-worker clone when the
+	// model carries internal randomness — see model.ForWorker).
+	mdl model.Model
+
 	batchSrc *rng.Source
 	stepSrc  *rng.Source
 	delaySrc *rng.Source
+
+	// pending holds deferred gradient computations; flush runs them
+	// in produce order (so noise-stream draws stay sequential per
+	// worker) while fanning out across workers.
+	pending []pendingGrad
+	gradErr error
 
 	stall time.Duration // cumulative staleness-bound blocking
 
@@ -82,7 +109,6 @@ type partialSim struct {
 	slots        int64
 	copyOverhead time.Duration
 	trace        *trace.Trace
-	grad         tensor.Vector
 }
 
 // newPartialSim builds a simulation domain over the given global worker ids.
@@ -98,7 +124,6 @@ func newPartialSim(cfg *Config, policy controller.Policy, ids []int, seedSalt in
 		payCopy:    policy == controller.PowerOfChoices || policy == controller.RandomInitiator,
 		eager:      policy == controller.Majority || policy == controller.Solo,
 		breakdowns: make([]stats.Breakdown, len(ids)),
-		grad:       tensor.New(dim),
 	}
 	cfg.Model.Init(rng.New(cfg.Seed+7777), s.params)
 	s.timeline = newParamsTimeline(s.params)
@@ -111,6 +136,7 @@ func newPartialSim(cfg *Config, policy controller.Policy, ids []int, seedSalt in
 	for i, id := range ids {
 		s.workers[i] = &simWorker{
 			id:       id,
+			mdl:      model.ForWorker(cfg.Model, id),
 			batchSrc: root.Split(100 + id),
 			stepSrc:  root.Split(200 + id),
 			delaySrc: root.Split(300 + id),
@@ -161,16 +187,54 @@ func (s *partialSim) produceOne(w *simWorker) error {
 
 	version := s.timeline.Lookup(start)
 	batch := s.cfg.Dataset.Batch(w.batchSrc, s.cfg.BatchSize)
-	if _, err := s.cfg.Model.Gradient(version, s.grad, batch); err != nil {
+	grad := tensor.New(len(s.params))
+	if s.cfg.parallel() {
+		// Defer the numeric work: the inputs are pinned (the timeline
+		// version is an immutable snapshot, the batch slice is fresh),
+		// so flush can run it concurrently with other workers.
+		w.pending = append(w.pending, pendingGrad{version: version, batch: batch, out: grad, iter: j})
+	} else if _, err := w.mdl.Gradient(version, grad, batch); err != nil {
 		return fmt.Errorf("worker %d iter %d: %w", w.id, j, err)
 	}
-	w.buffer = append(w.buffer, gradEntry{ready: ready, iter: j, grad: s.grad.Clone()})
+	w.buffer = append(w.buffer, gradEntry{ready: ready, iter: j, grad: grad})
 	w.readyAt = append(w.readyAt, ready)
 	w.produced++
 	w.busy = ready
 	if s.trace != nil {
 		s.trace.Add(trace.Span{Worker: w.id, Kind: trace.SpanCompute,
 			Start: start, End: ready, Iter: j})
+	}
+	return nil
+}
+
+// flush runs every deferred gradient computation. Work fans out across
+// workers over the shared pool; within one worker the pending list runs in
+// produce order so models with internal noise streams draw the same
+// per-worker sequence the serial engine would.
+func (s *partialSim) flush() error {
+	var busy []*simWorker
+	for _, w := range s.workers {
+		if len(w.pending) > 0 {
+			busy = append(busy, w)
+		}
+	}
+	if len(busy) == 0 {
+		return nil
+	}
+	parallel.For(s.cfg.fanout(), len(busy), func(i int) {
+		w := busy[i]
+		for _, p := range w.pending {
+			if _, err := w.mdl.Gradient(p.version, p.out, p.batch); err != nil {
+				w.gradErr = fmt.Errorf("worker %d iter %d: %w", w.id, p.iter, err)
+				return
+			}
+		}
+	})
+	for _, w := range busy {
+		w.pending = w.pending[:0]
+		if w.gradErr != nil {
+			return w.gradErr
+		}
 	}
 	return nil
 }
@@ -324,6 +388,11 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 				return roundOutcome{}, err
 			}
 		}
+	}
+
+	// Materialize every deferred gradient before the gather reads them.
+	if err := s.flush(); err != nil {
+		return roundOutcome{}, err
 	}
 
 	// Gather contributions: entries ready by the trigger. The

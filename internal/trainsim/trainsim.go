@@ -128,6 +128,15 @@ type Config struct {
 	// tuning as future work).
 	PSSyncEvery int
 
+	// Parallelism controls the engine's per-round gradient fan-out: 0
+	// (the default) fans independent per-worker Model.Gradient calls out
+	// over the shared GOMAXPROCS-bounded pool, 1 selects the serial
+	// reference engine, and values > 1 cap the fan-out width. Every
+	// setting produces bit-identical results: each worker owns its
+	// model clone, RNG streams and scratch gradient, and contributions
+	// merge in fixed rank order (see TestSerialParallelIdentical).
+	Parallelism int
+
 	// Termination: stop after MaxIterations synchronization rounds, when
 	// virtual time exceeds MaxTime (if > 0), or when evaluated loss
 	// drops to TargetLoss (if > 0).
@@ -203,6 +212,28 @@ func (c *Config) speedFactor(w int) float64 {
 		return 1
 	}
 	return c.SpeedFactors[w]
+}
+
+// parallel reports whether the engine may fan gradient work out; fanout is
+// the optional width cap passed to the pool (0 = pool-bounded only).
+func (c *Config) parallel() bool { return c.Parallelism == 0 || c.Parallelism > 1 }
+
+func (c *Config) fanout() int {
+	if c.Parallelism < 1 {
+		return 0
+	}
+	return c.Parallelism
+}
+
+// workerModels builds the per-worker gradient models: stateless models are
+// shared, models with internal noise (Quadratic) are cloned so concurrent
+// workers own independent, deterministically seeded streams.
+func workerModels(m model.Model, ids []int) []model.Model {
+	out := make([]model.Model, len(ids))
+	for i, id := range ids {
+		out[i] = model.ForWorker(m, id)
+	}
+	return out
 }
 
 func (c *Config) maxIterations() int {
