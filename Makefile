@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench microbench collective-bench train-bench check
+.PHONY: all vet build test race bench microbench calibrate collective-bench train-bench check
 
 all: vet build test
 
@@ -31,9 +31,16 @@ microbench:
 	$(GO) test -run xxx -bench BenchmarkModel -benchmem ./internal/model/
 	$(GO) test -run xxx -bench BenchmarkTrainsim -benchmem ./internal/trainsim/
 
-# collective-bench regenerates the machine-readable BENCH_collective.json.
+# collective-bench regenerates the machine-readable BENCH_collective.json
+# (per-algorithm sweep + crossover table). Run `make calibrate` first to
+# drive the auto rows with constants fitted on this machine.
 collective-bench:
 	$(GO) run ./cmd/rnabench -collective -collective-out BENCH_collective.json
+
+# calibrate fits the per-algorithm alpha-beta cost model on this machine and
+# persists it for the auto-selector.
+calibrate:
+	$(GO) run ./cmd/rnabench -calibrate -calibration CALIBRATION_collective.json
 
 # train-bench regenerates the machine-readable BENCH_train.json.
 train-bench:

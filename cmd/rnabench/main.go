@@ -5,7 +5,8 @@
 //	rnabench -list
 //	rnabench [-scale 1.0] [-seed 1] [-workers 8] fig6 table3 ...
 //	rnabench all
-//	rnabench -collective [-collective-out BENCH_collective.json]
+//	rnabench -calibrate [-calibration CALIBRATION_collective.json]
+//	rnabench -collective [-collective-out BENCH_collective.json] [-calibration CALIBRATION_collective.json]
 //	rnabench -train [-train-out BENCH_train.json]
 package main
 
@@ -34,8 +35,15 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "override cluster size (0 = experiment default)")
 		jsonOut = fs.Bool("json", false, "emit the reports as a JSON array on stdout")
 
-		collectiveBench = fs.Bool("collective", false, "run the ring AllReduce micro-benchmarks and write BENCH_collective.json")
+		collectiveBench = fs.Bool("collective", false, "run the AllReduce micro-benchmarks (per-algorithm sweep + crossover table) and write BENCH_collective.json")
 		collectiveOut   = fs.String("collective-out", "BENCH_collective.json", "output path for -collective")
+
+		calibrate       = fs.Bool("calibrate", false, "fit the per-algorithm alpha-beta cost model on this machine and write it to -calibration")
+		calibrationPath = fs.String("calibration", "CALIBRATION_collective.json", "cost-model file: written by -calibrate, loaded by -collective when present")
+		calRanks        = fs.Int("calibrate-ranks", 16, "mesh size for -calibrate probes")
+		calSmall        = fs.Int("calibrate-small", 1024, "latency-dominated probe dim for -calibrate")
+		calLarge        = fs.Int("calibrate-large", 1<<16, "bandwidth-dominated probe dim for -calibrate")
+		calRounds       = fs.Int("calibrate-rounds", 30, "timed collectives averaged per -calibrate probe")
 
 		trainBench = fs.Bool("train", false, "run the training-engine benchmarks and write BENCH_train.json")
 		trainOut   = fs.String("train-out", "BENCH_train.json", "output path for -train")
@@ -43,8 +51,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *calibrate {
+		return runCalibrate(*calibrationPath, *calRanks, *calSmall, *calLarge, *calRounds)
+	}
 	if *collectiveBench {
-		return runCollectiveBench(*collectiveOut)
+		return runCollectiveBench(*collectiveOut, *calibrationPath)
 	}
 	if *trainBench {
 		return runTrainBench(*trainOut)

@@ -1,0 +1,112 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Algorithm selects an AllReduce schedule.
+type Algorithm int
+
+// Supported schedules. AlgoAuto (the zero value) defers to the α–β cost
+// model selector; the rest pin a concrete schedule.
+const (
+	// AlgoAuto lets the calibrated cost model choose per (ranks, size).
+	AlgoAuto Algorithm = iota
+	// AlgoRing is the pipelined ring: bandwidth-optimal, O(N) latency.
+	AlgoRing
+	// AlgoHalvingDoubling is recursive halving-doubling: bandwidth-optimal
+	// with O(log N) latency, plus a fold-in for non-power-of-two N.
+	AlgoHalvingDoubling
+	// AlgoTree is binomial-tree reduce + broadcast: fewest messages, full
+	// vector per hop — for tiny tensors only.
+	AlgoTree
+)
+
+// String implements fmt.Stringer; the names match the BENCH_collective.json
+// rows and the rnabench output.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoRing:
+		return "ring"
+	case AlgoHalvingDoubling:
+		return "halving-doubling"
+	case AlgoTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a String() name back to the Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "auto":
+		return AlgoAuto, nil
+	case "ring":
+		return AlgoRing, nil
+	case "halving-doubling", "hd":
+		return AlgoHalvingDoubling, nil
+	case "tree":
+		return AlgoTree, nil
+	}
+	return 0, fmt.Errorf("collective: unknown algorithm %q", s)
+}
+
+// AllReduce reduces v in place across all ranks of m with the schedule the
+// calibrated cost model predicts fastest for (m.Size(), len(v)). Selection
+// is a pure function of those two values and the shared model, so all SPMD
+// ranks take the same branch. This is the entry point the training stack
+// uses; pin a schedule with AllReduceWith when benchmarking.
+func AllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
+	return AllReduceWith(m, iter, v, op, AlgoAuto)
+}
+
+// AllReduceWith reduces v in place across all ranks of m with the given
+// schedule (AlgoAuto defers to the cost-model selector). All ranks must
+// pass the same algorithm, iter, op and vector length.
+func AllReduceWith(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, algo Algorithm) error {
+	if algo == AlgoAuto {
+		algo = SelectAlgorithm(m.Size(), len(v))
+	}
+	switch algo {
+	case AlgoRing:
+		return RingAllReduce(m, iter, v, op)
+	case AlgoHalvingDoubling:
+		return HalvingDoublingAllReduce(m, iter, v, op)
+	case AlgoTree:
+		return TreeAllReduce(m, iter, v, op)
+	default:
+		return fmt.Errorf("collective: unsupported algorithm %v", algo)
+	}
+}
+
+// PartialAllReduce is PartialRingAllReduce with cost-model algorithm
+// selection: the partial semantics (null contributions, contributor count)
+// ride on any sum AllReduce, so the selector applies unchanged. The
+// returned Sum lives in a pooled buffer — call Release when done.
+func PartialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
+	return partialAllReduce(m, iter, v, contributes, AlgoAuto)
+}
+
+// partialAllReduce implements the partial collective on top of any
+// schedule.
+func partialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool, algo Algorithm) (PartialResult, error) {
+	work := tensor.Vector(transport.GetPayload(len(v) + 1))
+	if contributes {
+		copy(work, v)
+		work[len(v)] = 1
+	} else {
+		work.Zero()
+	}
+	if err := AllReduceWith(m, iter, work, OpSum, algo); err != nil {
+		transport.PutPayload(work)
+		return PartialResult{}, err
+	}
+	contributors := int(work[len(v)] + 0.5)
+	return PartialResult{Sum: work[:len(v)], Contributors: contributors}, nil
+}

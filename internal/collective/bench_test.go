@@ -88,3 +88,74 @@ func BenchmarkPartialRingAllReduce(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAllReduceAlgorithms sweeps every schedule (plus the auto
+// selector) over the crossover-relevant sizes. The same grid backs the
+// per-algorithm rows and crossover table in BENCH_collective.json via
+// `rnabench -collective`.
+func BenchmarkAllReduceAlgorithms(b *testing.B) {
+	algos := []collective.Algorithm{
+		collective.AlgoRing, collective.AlgoHalvingDoubling,
+		collective.AlgoTree, collective.AlgoAuto,
+	}
+	for _, algo := range algos {
+		for _, n := range []int{4, 8, 16} {
+			for _, dim := range []int{1 << 10, 1 << 12, 1 << 16, 1 << 18} {
+				algo := algo
+				b.Run(fmt.Sprintf("%s/n%d/dim%d", algo, n, dim), func(b *testing.B) {
+					net, err := transport.NewLocalNetwork(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer func() { _ = net.Close() }()
+					vecs := make([]tensor.Vector, n)
+					for i := range vecs {
+						vecs[i] = tensor.New(dim)
+					}
+					eps := net.Endpoints()
+					b.SetBytes(int64(dim * 8))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						runRanks(b, eps, func(m transport.Mesh) error {
+							return collective.AllReduceWith(m, int64(i), vecs[m.Rank()], collective.OpAverage, algo)
+						})
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkHierarchicalAllReduce measures the two-level schedule with four
+// groups of equal size against the flat ring at the same scale.
+func BenchmarkHierarchicalAllReduce(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		for _, dim := range []int{1 << 12, 1 << 18} {
+			b.Run(fmt.Sprintf("n%d/dim%d", n, dim), func(b *testing.B) {
+				groups := make([][]int, 4)
+				for r := 0; r < n; r++ {
+					groups[r%4] = append(groups[r%4], r)
+				}
+				net, err := transport.NewLocalNetwork(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				vecs := make([]tensor.Vector, n)
+				for i := range vecs {
+					vecs[i] = tensor.New(dim)
+				}
+				eps := net.Endpoints()
+				b.SetBytes(int64(dim * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runRanks(b, eps, func(m transport.Mesh) error {
+						return collective.HierarchicalAllReduce(m, int64(i), vecs[m.Rank()], collective.OpAverage, groups)
+					})
+				}
+			})
+		}
+	}
+}

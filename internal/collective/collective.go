@@ -82,22 +82,9 @@ func (r PartialResult) Release() {
 // v is not modified; the summed gradient is returned in PartialResult.Sum,
 // which lives in a pooled scratch buffer — call Release when done with it.
 func PartialRingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
-	// Piggyback the contribution flag as one extra element so the count
-	// is reduced by the same ring pass as the data. The scratch comes
-	// from the shared payload pool (it is hot: one per rank per step).
-	work := tensor.Vector(transport.GetPayload(len(v) + 1))
-	if contributes {
-		copy(work, v)
-		work[len(v)] = 1
-	} else {
-		work.Zero()
-	}
-	if err := RingAllReduce(m, iter, work, OpSum); err != nil {
-		transport.PutPayload(work)
-		return PartialResult{}, err
-	}
-	contributors := int(work[len(v)] + 0.5)
-	return PartialResult{Sum: work[:len(v)], Contributors: contributors}, nil
+	// The contribution flag piggybacks as one extra element so the count
+	// is reduced by the same pass as the data (see partialAllReduce).
+	return partialAllReduce(m, iter, v, contributes, AlgoRing)
 }
 
 // Broadcast distributes root's v to all ranks via a binomial tree rooted at
@@ -124,8 +111,9 @@ func Broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int) error {
 		if err != nil {
 			return fmt.Errorf("broadcast recv: %w", err)
 		}
-		if msg.Iter != iter || msg.Type != transport.MsgBroadcast {
-			return fmt.Errorf("%w: broadcast got iter=%d type=%d", ErrProtocol, msg.Iter, msg.Type)
+		if err := checkMsg("broadcast", msg, transport.MsgBroadcast, iter, msg.Chunk); err != nil {
+			transport.PutPayload(msg.Payload)
+			return err
 		}
 		if err := v.CopyFrom(msg.Payload); err != nil {
 			return fmt.Errorf("broadcast copy: %w", err)

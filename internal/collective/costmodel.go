@@ -1,0 +1,333 @@
+package collective
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// α–β cost model behind the algorithm auto-selector.
+//
+// Each algorithm's critical path is msgs·α + bytes·β: msgs sequential
+// message latencies plus the per-byte transfer/reduce cost of the bytes it
+// moves. The (α, β) constants are PER ALGORITHM — the implementations have
+// different per-step machinery (the ring pipelines and rotates buffers, the
+// tree sends whole vectors through one root), so a single shared pair
+// systematically mispredicts. The constants ship with defaults measured on
+// the in-memory mesh and are re-fit for a deployment by Calibrate (exposed
+// as `rnabench -calibrate`), whose output persists as JSON and reloads via
+// LoadCalibration. All ranks must share one model: selection depends only
+// on (rank count, message size), so a shared model keeps the SPMD ranks'
+// choices consistent.
+
+// AlgoCost holds one algorithm's fitted α–β constants.
+type AlgoCost struct {
+	// AlphaNs is the fixed cost per critical-path message in nanoseconds.
+	AlphaNs float64 `json:"alpha_ns"`
+	// BetaNsPerByte is the cost per critical-path byte in ns/byte.
+	BetaNsPerByte float64 `json:"beta_ns_per_byte"`
+}
+
+// CostModel predicts AllReduce latency per algorithm.
+type CostModel struct {
+	Ring            AlgoCost `json:"ring"`
+	HalvingDoubling AlgoCost `json:"halving_doubling"`
+	Tree            AlgoCost `json:"tree"`
+}
+
+// DefaultCostModel returns constants fitted by `rnabench -calibrate` on the
+// in-memory mesh of a commodity x86 host (the make collective-bench
+// hardware). They are meant as a sane starting point; run
+// `rnabench -calibrate` to fit your own fabric. Note the per-algorithm
+// spread the shared-constant model would miss: the pipelined ring forwards
+// pooled buffers without copying (low β, but α carries its per-step gate
+// synchronization), halving-doubling pays a copy on every windowed send
+// (highest β), and the tree does one contiguous add per hop (lowest α and
+// β, but log-factor byte volume).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Ring:            AlgoCost{AlphaNs: 6343, BetaNsPerByte: 0.94},
+		HalvingDoubling: AlgoCost{AlphaNs: 5419, BetaNsPerByte: 2.02},
+		Tree:            AlgoCost{AlphaNs: 3617, BetaNsPerByte: 0.43},
+	}
+}
+
+// Critical-path shape of each schedule for n ranks and S payload bytes:
+// message count and byte volume. These are the standard collective
+// complexity terms; the fold-in pre/post phases of non-power-of-two
+// halving-doubling add two full-size hops.
+func ringShape(n int, bytes int64) (msgs float64, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	steps := float64(2 * (n - 1))
+	return steps, steps * float64(bytes/int64(n))
+}
+
+func halvingDoublingShape(n int, bytes int64) (msgs float64, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	p := highestBit(n)
+	msgs = 2 * float64(log2(p))
+	vol = 2 * float64(bytes) * float64(p-1) / float64(p)
+	if p != n {
+		msgs += 2
+		vol += 2 * float64(bytes)
+	}
+	return msgs, vol
+}
+
+func treeShape(n int, bytes int64) (msgs float64, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	steps := float64(ceilLog2(n))
+	return 2 * steps, 2 * steps * float64(bytes)
+}
+
+// PredictNs returns the modeled latency of one AllReduce in nanoseconds.
+// AlgoAuto predicts the minimum over the concrete algorithms.
+func (c CostModel) PredictNs(a Algorithm, n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	var msgs, vol float64
+	var k AlgoCost
+	switch a {
+	case AlgoRing:
+		msgs, vol = ringShape(n, bytes)
+		k = c.Ring
+	case AlgoHalvingDoubling:
+		msgs, vol = halvingDoublingShape(n, bytes)
+		k = c.HalvingDoubling
+	case AlgoTree:
+		msgs, vol = treeShape(n, bytes)
+		k = c.Tree
+	default: // AlgoAuto
+		best := c.PredictNs(AlgoRing, n, bytes)
+		if t := c.PredictNs(AlgoHalvingDoubling, n, bytes); t < best {
+			best = t
+		}
+		if t := c.PredictNs(AlgoTree, n, bytes); t < best {
+			best = t
+		}
+		return best
+	}
+	return msgs*k.AlphaNs + vol*k.BetaNsPerByte
+}
+
+// Select returns the cheapest concrete algorithm for an AllReduce of elems
+// float64 elements across n ranks. Ties break toward the earlier entry of
+// [halving-doubling, tree, ring], preferring the latency-optimal schedules
+// when the model cannot distinguish them. The choice is a pure function of
+// (n, elems) and the model, so SPMD ranks sharing a model always agree.
+func (c CostModel) Select(n, elems int) Algorithm {
+	if n <= 1 {
+		return AlgoRing
+	}
+	bytes := int64(elems) * 8
+	best, bestT := AlgoHalvingDoubling, c.PredictNs(AlgoHalvingDoubling, n, bytes)
+	if t := c.PredictNs(AlgoTree, n, bytes); t < bestT {
+		best, bestT = AlgoTree, t
+	}
+	if t := c.PredictNs(AlgoRing, n, bytes); t < bestT {
+		best = AlgoRing
+	}
+	return best
+}
+
+// log2 returns log2(p) for a power of two p ≥ 1.
+func log2(p int) int {
+	l := 0
+	for p > 1 {
+		p >>= 1
+		l++
+	}
+	return l
+}
+
+// ceilLog2 returns ⌈log2 n⌉ for n ≥ 1.
+func ceilLog2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+// The active model drives AllReduce's auto selection. It is process-global:
+// one training job runs one fabric.
+var (
+	costModelMu sync.RWMutex
+	activeModel = DefaultCostModel()
+)
+
+// ActiveCostModel returns the model the auto selector currently uses.
+func ActiveCostModel() CostModel {
+	costModelMu.RLock()
+	defer costModelMu.RUnlock()
+	return activeModel
+}
+
+// SetCostModel installs m as the auto selector's model (e.g. after loading
+// a calibration file). All ranks of a job must install the same model.
+func SetCostModel(m CostModel) {
+	costModelMu.Lock()
+	activeModel = m
+	costModelMu.Unlock()
+}
+
+// SelectAlgorithm picks the algorithm the active model predicts fastest for
+// an AllReduce of elems elements across n ranks.
+func SelectAlgorithm(n, elems int) Algorithm {
+	return ActiveCostModel().Select(n, elems)
+}
+
+// Calibration is the persisted form of a fitted cost model.
+type Calibration struct {
+	// Model holds the fitted constants.
+	Model CostModel `json:"model"`
+	// Ranks and the probe dims record the calibration conditions.
+	Ranks    int `json:"ranks"`
+	SmallDim int `json:"small_dim"`
+	LargeDim int `json:"large_dim"`
+	// Rounds is the number of timed collectives averaged per probe.
+	Rounds int `json:"rounds"`
+}
+
+// SaveCalibration writes c as indented JSON to path.
+func (c Calibration) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCalibration reads a calibration file and returns it. It does NOT
+// install the model; call SetCostModel(cal.Model) to activate it.
+func LoadCalibration(path string) (Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Calibration{}, err
+	}
+	var c Calibration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Calibration{}, fmt.Errorf("collective: parse calibration %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Calibrate fits per-algorithm α–β constants on an in-memory mesh of
+// `ranks` endpoints by timing each algorithm at a latency-dominated probe
+// size (smallDim) and a bandwidth-dominated one (largeDim), then solving
+// the two-point linear system of the critical-path shape. rounds timed
+// collectives are averaged per probe (after a warmup round). Zero
+// arguments select defaults (16 ranks, 1024/65536 dims, 30 rounds): the
+// probe dims bracket the ring↔log-depth crossover region, where the fit
+// matters — a two-point fit is exact at its probe sizes and interpolates
+// between them, so probing far outside the decision region (e.g. at 1M
+// elements) would spend the model's two degrees of freedom where no
+// selection decision ever changes.
+func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
+	if ranks < 2 {
+		ranks = 16
+	}
+	if smallDim <= 0 {
+		smallDim = 1 << 10
+	}
+	if largeDim <= smallDim {
+		largeDim = 1 << 16
+	}
+	if rounds < 1 {
+		rounds = 30
+	}
+	net, err := transport.NewLocalNetwork(ranks)
+	if err != nil {
+		return Calibration{}, err
+	}
+	defer func() { _ = net.Close() }()
+	eps := net.Endpoints()
+
+	probe := func(algo Algorithm, dim int) (float64, error) {
+		vecs := make([]tensor.Vector, ranks)
+		for i := range vecs {
+			vecs[i] = tensor.New(dim)
+			vecs[i].Fill(float64(i + 1))
+		}
+		run := func(iter int64) error {
+			done := make(chan error, ranks)
+			for _, m := range eps {
+				m := m
+				go func() { done <- AllReduceWith(m, iter, vecs[m.Rank()], OpSum, algo) }()
+			}
+			var first error
+			for range eps {
+				if err := <-done; err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+		if err := run(0); err != nil { // warmup
+			return 0, err
+		}
+		start := time.Now()
+		for it := 1; it <= rounds; it++ {
+			if err := run(int64(it)); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(rounds), nil
+	}
+
+	fit := func(algo Algorithm, shape func(int, int64) (float64, float64)) (AlgoCost, error) {
+		tSmall, err := probe(algo, smallDim)
+		if err != nil {
+			return AlgoCost{}, fmt.Errorf("calibrate %s small: %w", algo, err)
+		}
+		tLarge, err := probe(algo, largeDim)
+		if err != nil {
+			return AlgoCost{}, fmt.Errorf("calibrate %s large: %w", algo, err)
+		}
+		msgsS, volS := shape(ranks, int64(smallDim)*8)
+		_, volL := shape(ranks, int64(largeDim)*8)
+		// Two-point fit: t = msgs·α + vol·β. The shapes share the msgs
+		// term when msgsS == msgsL (all three do at fixed n), so β falls
+		// out of the difference and α from the small probe.
+		beta := (tLarge - tSmall) / (volL - volS)
+		if beta < 0 {
+			beta = 0
+		}
+		alpha := (tSmall - volS*beta) / msgsS
+		if alpha < 1 {
+			alpha = 1 // keep predictions ordered even on noisy probes
+		}
+		return AlgoCost{AlphaNs: alpha, BetaNsPerByte: beta}, nil
+	}
+
+	var cal Calibration
+	cal.Ranks, cal.SmallDim, cal.LargeDim, cal.Rounds = ranks, smallDim, largeDim, rounds
+	if cal.Model.Ring, err = fit(AlgoRing, ringShape); err != nil {
+		return Calibration{}, err
+	}
+	if cal.Model.HalvingDoubling, err = fit(AlgoHalvingDoubling, halvingDoublingShape); err != nil {
+		return Calibration{}, err
+	}
+	if cal.Model.Tree, err = fit(AlgoTree, treeShape); err != nil {
+		return Calibration{}, err
+	}
+	return cal, nil
+}

@@ -1,0 +1,177 @@
+package collective
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSelectPrefersLatencyOptimalSmall: with any sane model, tiny tensors on
+// many ranks must avoid the ring's 2(n−1)-step latency chain.
+func TestSelectPrefersLatencyOptimalSmall(t *testing.T) {
+	m := DefaultCostModel()
+	for _, n := range []int{8, 16, 32} {
+		if got := m.Select(n, 64); got == AlgoRing {
+			t.Errorf("Select(%d ranks, 64 elems) = ring; want a log-depth schedule", n)
+		}
+	}
+}
+
+// TestSelectPrefersBandwidthOptimalLarge: huge tensors must land on a
+// schedule whose byte volume is O(bytes), i.e. not the tree (which moves the
+// full vector every hop).
+func TestSelectPrefersBandwidthOptimalLarge(t *testing.T) {
+	m := DefaultCostModel()
+	for _, n := range []int{8, 16} {
+		if got := m.Select(n, 1<<22); got == AlgoTree {
+			t.Errorf("Select(%d ranks, 4M elems) = tree; want ring or halving-doubling", n)
+		}
+	}
+}
+
+// TestSelectDeterministicAndMonotone: selection is a pure function of
+// (n, elems) — SPMD ranks sharing one model must always agree.
+func TestSelectDeterministicAndMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	for _, n := range []int{2, 3, 8, 17} {
+		for _, elems := range []int{0, 1, 512, 4096, 1 << 16, 1 << 20} {
+			first := m.Select(n, elems)
+			for i := 0; i < 3; i++ {
+				if got := m.Select(n, elems); got != first {
+					t.Fatalf("Select(%d, %d) flapped: %v then %v", n, elems, first, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectSingleRank: a 1-rank mesh needs no traffic; any algorithm is a
+// no-op, and the selector must not divide by zero getting there.
+func TestSelectSingleRank(t *testing.T) {
+	if got := DefaultCostModel().Select(1, 1024); got != AlgoRing {
+		t.Errorf("Select(1, 1024) = %v, want ring fallback", got)
+	}
+	if ns := DefaultCostModel().PredictNs(AlgoAuto, 1, 8192); ns != 0 {
+		t.Errorf("PredictNs(auto, 1 rank) = %v, want 0", ns)
+	}
+}
+
+// TestPredictMatchesConstructedModel pins the shape arithmetic with a
+// hand-checkable model: α=1 per message, β=0.
+func TestPredictMatchesConstructedModel(t *testing.T) {
+	unit := AlgoCost{AlphaNs: 1, BetaNsPerByte: 0}
+	m := CostModel{Ring: unit, HalvingDoubling: unit, Tree: unit}
+	cases := []struct {
+		algo Algorithm
+		n    int
+		want float64
+	}{
+		{AlgoRing, 4, 6},            // 2(n−1)
+		{AlgoRing, 8, 14},           //
+		{AlgoHalvingDoubling, 8, 6}, // 2·log2(8)
+		{AlgoHalvingDoubling, 6, 6}, // 2·log2(4) + 2 fold hops
+		{AlgoTree, 8, 6},            // 2·⌈log2 8⌉
+		{AlgoTree, 5, 6},            // 2·⌈log2 5⌉
+	}
+	for _, tc := range cases {
+		if got := m.PredictNs(tc.algo, tc.n, 800); got != tc.want {
+			t.Errorf("PredictNs(%v, n=%d) = %v, want %v", tc.algo, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestCalibrationSaveLoadRoundTrip: the persisted calibration must reload
+// bit-for-bit so every rank of a job can install the identical model.
+func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
+	cal := Calibration{
+		Model: CostModel{
+			Ring:            AlgoCost{AlphaNs: 123.5, BetaNsPerByte: 0.25},
+			HalvingDoubling: AlgoCost{AlphaNs: 99, BetaNsPerByte: 0.5},
+			Tree:            AlgoCost{AlphaNs: 77.25, BetaNsPerByte: 1.125},
+		},
+		Ranks: 8, SmallDim: 256, LargeDim: 1 << 18, Rounds: 30,
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := cal.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cal {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, cal)
+	}
+}
+
+// TestLoadCalibrationErrors: missing and malformed files both fail loudly.
+func TestLoadCalibrationErrors(t *testing.T) {
+	if _, err := LoadCalibration(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing calibration should error")
+	}
+}
+
+// TestSetCostModelDrivesSelector: installing a model changes what AllReduce
+// auto-selection picks, and restoring the default restores the choice.
+func TestSetCostModelDrivesSelector(t *testing.T) {
+	defer SetCostModel(DefaultCostModel())
+	// A model where the tree is free wins everywhere.
+	treeOnly := CostModel{
+		Ring:            AlgoCost{AlphaNs: 1e9, BetaNsPerByte: 1e6},
+		HalvingDoubling: AlgoCost{AlphaNs: 1e9, BetaNsPerByte: 1e6},
+		Tree:            AlgoCost{AlphaNs: 1, BetaNsPerByte: 0},
+	}
+	SetCostModel(treeOnly)
+	if got := SelectAlgorithm(8, 1<<20); got != AlgoTree {
+		t.Errorf("with tree-only model SelectAlgorithm = %v, want tree", got)
+	}
+	SetCostModel(DefaultCostModel())
+	if got := SelectAlgorithm(8, 1<<20); got == AlgoTree {
+		t.Errorf("default model picked tree for 1M elems; want a bandwidth-optimal schedule")
+	}
+}
+
+// TestCalibrateSmoke runs a tiny calibration end to end: constants must come
+// out positive and the calibration must record its probe conditions.
+func TestCalibrateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe in -short mode")
+	}
+	cal, err := Calibrate(4, 64, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Ranks != 4 || cal.SmallDim != 64 || cal.LargeDim != 8192 || cal.Rounds != 3 {
+		t.Errorf("probe conditions not recorded: %+v", cal)
+	}
+	for name, c := range map[string]AlgoCost{
+		"ring": cal.Model.Ring, "hd": cal.Model.HalvingDoubling, "tree": cal.Model.Tree,
+	} {
+		if c.AlphaNs <= 0 || c.BetaNsPerByte < 0 {
+			t.Errorf("%s constants out of range: %+v", name, c)
+		}
+	}
+}
+
+// TestParseAlgorithm covers the CLI surface of the enum.
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]Algorithm{
+		"auto": AlgoAuto, "ring": AlgoRing,
+		"halving-doubling": AlgoHalvingDoubling, "hd": AlgoHalvingDoubling,
+		"tree": AlgoTree,
+	}
+	for s, want := range cases {
+		got, err := ParseAlgorithm(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("butterfly"); err == nil {
+		t.Error("unknown algorithm name should error")
+	}
+	for _, a := range []Algorithm{AlgoAuto, AlgoRing, AlgoHalvingDoubling, AlgoTree} {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("String/Parse round trip failed for %v", a)
+		}
+	}
+}

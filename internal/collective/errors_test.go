@@ -2,6 +2,7 @@ package collective
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -101,5 +102,121 @@ func TestFusedAllReduceErrorPropagates(t *testing.T) {
 	err = FusedAllReduce(ep0, 0, []tensor.Vector{tensor.New(2)}, OpSum, 0)
 	if err == nil {
 		t.Error("fused allreduce on closed mesh should error")
+	}
+}
+
+// TestProtocolErrorFields: a protocol violation must carry enough context to
+// debug it — expected vs received iteration, tag, type, and the peer rank.
+func TestProtocolErrorFields(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+
+	// Rank 1 injects a chunk with a stale iteration before joining.
+	if err := ep1.Send(0, transport.Message{
+		Type: transport.MsgChunk, Iter: 999, Chunk: 7, Payload: []float64{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err0Ch := make(chan error, 1)
+	err1Ch := make(chan error, 1)
+	go func() { err0Ch <- RingAllReduce(ep0, 3, tensor.New(2), OpSum) }()
+	go func() { err1Ch <- RingAllReduce(ep1, 3, tensor.New(2), OpSum) }()
+	err0 := <-err0Ch
+	_ = ep1.Close()
+	<-err1Ch
+
+	var pe *ProtocolError
+	if !errors.As(err0, &pe) {
+		t.Fatalf("error %v does not unwrap to *ProtocolError", err0)
+	}
+	if !errors.Is(err0, ErrProtocol) {
+		t.Errorf("ProtocolError must keep matching errors.Is(_, ErrProtocol); got %v", err0)
+	}
+	if pe.Op != "ring" {
+		t.Errorf("Op = %q, want %q", pe.Op, "ring")
+	}
+	if pe.From != 1 {
+		t.Errorf("From = %d, want 1", pe.From)
+	}
+	if pe.WantIter != 3 || pe.GotIter != 999 {
+		t.Errorf("iter = want %d got %d; expected want 3 got 999", pe.WantIter, pe.GotIter)
+	}
+	if pe.GotTag != 7 {
+		t.Errorf("GotTag = %d, want 7", pe.GotTag)
+	}
+	if pe.GotType != transport.MsgChunk {
+		t.Errorf("GotType = %v, want MsgChunk", pe.GotType)
+	}
+	msg := pe.Error()
+	for _, frag := range []string{"ring", "iter", "tag"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error text %q missing %q", msg, frag)
+		}
+	}
+}
+
+// TestProtocolErrorWrongType: a message of the wrong kind (control traffic
+// leaking into a broadcast stream) is reported with both type fields set.
+func TestProtocolErrorWrongType(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+
+	// Root's slot in rank 1's inbox gets a rogue control message.
+	if err := ep0.Send(1, transport.Message{
+		Type: transport.MsgControl, Iter: 0, Payload: []float64{0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	leafErr := make(chan error, 1)
+	go func() {
+		leafErr <- Broadcast(ep1, 0, tensor.New(1), 0)
+	}()
+	err1 := <-leafErr
+	var pe *ProtocolError
+	if !errors.As(err1, &pe) {
+		t.Fatalf("error %v does not unwrap to *ProtocolError", err1)
+	}
+	if pe.Op != "broadcast" {
+		t.Errorf("Op = %q, want %q", pe.Op, "broadcast")
+	}
+	if pe.WantType != transport.MsgBroadcast || pe.GotType != transport.MsgControl {
+		t.Errorf("types = want %v got %v; expected MsgBroadcast/MsgControl", pe.WantType, pe.GotType)
+	}
+}
+
+// TestSegTagOverflowRejected: a (ranks, segments) combination whose tag
+// space exceeds int32 must fail fast with ErrTagOverflow instead of
+// colliding tags mid-flight.
+func TestSegTagOverflowRejected(t *testing.T) {
+	net, err := transport.NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep0, _ := net.Endpoint(0)
+	err = RingAllReduceSegmented(ep0, 0, tensor.New(8), OpSum, 1<<30+1)
+	if !errors.Is(err, ErrTagOverflow) {
+		t.Fatalf("error = %v, want ErrTagOverflow", err)
+	}
+	// The guard fires before any traffic, so the mesh stays usable.
+	runDone := make(chan error, 2)
+	ep1, _ := net.Endpoint(1)
+	go func() { runDone <- RingAllReduce(ep0, 1, tensor.New(8), OpSum) }()
+	go func() { runDone <- RingAllReduce(ep1, 1, tensor.New(8), OpSum) }()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
 	}
 }

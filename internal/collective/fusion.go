@@ -63,9 +63,11 @@ func FusedAllReduce(m transport.Mesh, iter int64, tensors []tensor.Vector, op Re
 			buf = append(buf, t...)
 		}
 		// Distinct iteration tag per fusion group keeps the groups'
-		// ring messages separable.
+		// messages separable. Each group picks its schedule by its own
+		// fused size: small trailing groups may take the latency-optimal
+		// path while the bulk groups ride the ring.
 		tag := iter*int64(len(groups)+1) + int64(gi)
-		if err := RingAllReduce(m, tag, buf, op); err != nil {
+		if err := AllReduce(m, tag, buf, op); err != nil {
 			return fmt.Errorf("fusion group %d: %w", gi, err)
 		}
 		off := 0

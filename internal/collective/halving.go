@@ -1,0 +1,220 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Recursive halving-doubling AllReduce (Rabenseifner's algorithm).
+//
+// The ring schedule is bandwidth-optimal but pays 2(N−1) message latencies;
+// halving-doubling reduces the same 2·S·(N−1)/N bytes in 2·log2(N) steps:
+// a reduce-scatter by recursive halving (each step exchanges half of the
+// remaining window with a partner at distance p/2, p/4, …, 1 and reduces
+// the received half) followed by an allgather by recursive doubling that
+// retraces the same partner sequence in reverse. On latency-dominated
+// messages — small tensors, many ranks — it is the fastest dense schedule.
+//
+// Non-power-of-two rank counts use the standard fold-in: with p the largest
+// power of two ≤ N and r = N − p, the first 2r ranks pair up; each odd rank
+// 2i+1 folds its vector into even rank 2i before the core (pre-phase) and
+// receives the finished result from it afterwards (post-phase), so the core
+// runs on exactly p ranks.
+//
+// Determinism: every element of the result is accumulated along a unique
+// binary-tree path ending at one owner rank, and the allgather distributes
+// the owner's bytes verbatim, so all ranks finish with bit-identical
+// vectors (TestAlgorithmsBitIdenticalAcrossRanks locks this in). The
+// accumulation order differs from the ring's, so cross-algorithm results
+// agree only to floating-point roundoff (the 1e-12 property-test bound).
+//
+// Averaging is fused like the ring's: each active rank scales only the
+// window it owns right after reduce-scatter, so the allgather circulates
+// pre-averaged values.
+
+// Halving-doubling tag layout in the int32 Chunk field: the pre-fold uses
+// hdTagFold, core steps 0..2·log2(p)−1 use their step index, and the
+// post-fold uses hdTagUnfold. The step count is ≤ 62 (p ≤ 2^31), so the
+// tags never collide.
+const (
+	hdTagFold   int32 = 1 << 30
+	hdTagUnfold int32 = 1<<30 + 1
+)
+
+// HalvingDoublingAllReduce reduces v in place across all ranks of m using
+// recursive halving-doubling. All ranks must pass vectors of equal length
+// and the same iter; results are identical on every rank.
+func HalvingDoublingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
+	n := m.Size()
+	if n == 1 {
+		return nil
+	}
+	rank := m.Rank()
+	p := highestBit(n)
+	r := n - p
+
+	// Pre-phase fold-in: odd ranks below 2r contribute their vector to the
+	// even partner and sit out the core.
+	newrank := -1
+	switch {
+	case rank < 2*r && rank%2 == 1:
+		if err := m.Send(rank-1, transport.Message{
+			Type: transport.MsgReduce, Iter: iter, Chunk: hdTagFold, Payload: v,
+		}); err != nil {
+			return fmt.Errorf("halving-doubling fold send: %w", err)
+		}
+	case rank < 2*r:
+		msg, err := m.Recv(rank + 1)
+		if err != nil {
+			return fmt.Errorf("halving-doubling fold recv: %w", err)
+		}
+		if err := checkMsg("halving-doubling fold", msg, transport.MsgReduce, iter, hdTagFold); err != nil {
+			transport.PutPayload(msg.Payload)
+			return err
+		}
+		err = v.Add(msg.Payload)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("halving-doubling fold: %w", err)
+		}
+		newrank = rank / 2
+	default:
+		newrank = rank - r
+	}
+
+	if newrank >= 0 {
+		if err := halvingDoublingCore(m, iter, v, op, n, rank, newrank, p, r); err != nil {
+			return err
+		}
+	}
+
+	// Post-phase fold-out: evens below 2r forward the finished (and, under
+	// OpAverage, already scaled) vector to the odd partner that folded in.
+	if rank < 2*r {
+		if rank%2 == 0 {
+			if err := m.Send(rank+1, transport.Message{
+				Type: transport.MsgReduce, Iter: iter, Chunk: hdTagUnfold, Payload: v,
+			}); err != nil {
+				return fmt.Errorf("halving-doubling unfold send: %w", err)
+			}
+			return nil
+		}
+		msg, err := m.Recv(rank - 1)
+		if err != nil {
+			return fmt.Errorf("halving-doubling unfold recv: %w", err)
+		}
+		if err := checkMsg("halving-doubling unfold", msg, transport.MsgReduce, iter, hdTagUnfold); err != nil {
+			transport.PutPayload(msg.Payload)
+			return err
+		}
+		err = v.CopyFrom(msg.Payload)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("halving-doubling unfold: %w", err)
+		}
+	}
+	return nil
+}
+
+// hdGlobal maps a core rank (0..p-1) back to its parent-mesh rank: the
+// first r core ranks are the surviving evens of the fold pairs.
+func hdGlobal(newrank, r int) int {
+	if newrank < r {
+		return 2 * newrank
+	}
+	return newrank + r
+}
+
+// halvingDoublingCore runs the power-of-two reduce-scatter + allgather on
+// the p active ranks. v ends with the complete reduction on every active
+// rank; under OpAverage it is already scaled by 1/n.
+func halvingDoublingCore(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, n, rank, newrank, p, r int) error {
+	// Window bounds per halving step, replayed in reverse by the doubling
+	// phase. log2(p) ≤ 31 so a fixed-size stack avoids allocation.
+	var (
+		parentLo, parentHi [32]int
+		dists              [32]int
+		depth              int
+	)
+	lo, hi := 0, len(v)
+	step := int32(0)
+
+	// Reduce-scatter by recursive halving: exchange the half of the current
+	// window the partner will own, reduce the received half into the kept
+	// one. Both partners derive the same midpoint from the shared window,
+	// so uneven dimensions split consistently.
+	for dist := p / 2; dist >= 1; dist /= 2 {
+		partner := hdGlobal(newrank^dist, r)
+		mid := lo + (hi-lo)/2
+		keepLo, keepHi, sendLo, sendHi := lo, mid, mid, hi
+		if newrank&dist != 0 {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		if err := m.Send(partner, transport.Message{
+			Type: transport.MsgReduce, Iter: iter, Chunk: step, Payload: v[sendLo:sendHi],
+		}); err != nil {
+			return fmt.Errorf("halving step %d send: %w", step, err)
+		}
+		msg, err := m.Recv(partner)
+		if err != nil {
+			return fmt.Errorf("halving step %d recv: %w", step, err)
+		}
+		if err := checkMsg("halving-doubling", msg, transport.MsgReduce, iter, step); err != nil {
+			transport.PutPayload(msg.Payload)
+			return err
+		}
+		err = v[keepLo:keepHi].Add(msg.Payload)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("halving step %d reduce: %w", step, err)
+		}
+		parentLo[depth], parentHi[depth], dists[depth] = lo, hi, dist
+		depth++
+		lo, hi = keepLo, keepHi
+		step++
+	}
+
+	// The rank's owned window now holds its slice of the complete sum;
+	// scale it here so the allgather circulates pre-averaged values and all
+	// ranks receive identical bits.
+	if op == OpAverage {
+		v[lo:hi].Scale(1 / float64(n))
+	}
+
+	// Allgather by recursive doubling: retrace the halving in reverse,
+	// exchanging the current window for the partner's sibling half until
+	// the window grows back to the whole vector.
+	for depth > 0 {
+		depth--
+		plo, phi := parentLo[depth], parentHi[depth]
+		partner := hdGlobal(newrank^dists[depth], r)
+		if err := m.Send(partner, transport.Message{
+			Type: transport.MsgReduce, Iter: iter, Chunk: step, Payload: v[lo:hi],
+		}); err != nil {
+			return fmt.Errorf("doubling step %d send: %w", step, err)
+		}
+		// The partner holds the sibling half within the parent window.
+		theirLo, theirHi := plo, lo
+		if lo == plo {
+			theirLo, theirHi = hi, phi
+		}
+		msg, err := m.Recv(partner)
+		if err != nil {
+			return fmt.Errorf("doubling step %d recv: %w", step, err)
+		}
+		if err := checkMsg("halving-doubling", msg, transport.MsgReduce, iter, step); err != nil {
+			transport.PutPayload(msg.Payload)
+			return err
+		}
+		err = v[theirLo:theirHi].CopyFrom(msg.Payload)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("doubling step %d copy: %w", step, err)
+		}
+		lo, hi = plo, phi
+		step++
+	}
+	return nil
+}

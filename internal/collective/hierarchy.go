@@ -1,0 +1,103 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Two-level hierarchical AllReduce, matching the paper's hierarchical mode
+// (Section 4): ranks are partitioned into groups (speed- or
+// locality-homogeneous), each group ring-reduces internally over a
+// transport.SubMesh, the group leaders exchange the group sums across
+// groups, and the finished result is broadcast back inside each group. For
+// G groups of size N/G the critical path is one N/G-rank ring + one G-rank
+// leader exchange + one N/G-rank broadcast — on fabrics where intra-group
+// links are fast and inter-group links slow (the heterogeneous clusters the
+// paper targets) this beats any flat schedule.
+//
+// Determinism: every rank of a group finishes the intra-group ring with
+// bit-identical group sums, the leader exchange reduces those
+// deterministically, and the broadcast distributes the leader's finished
+// bytes verbatim — so all N ranks end bit-identical.
+
+// HierarchicalAllReduce reduces v in place across all ranks of m. groups
+// must partition 0..m.Size()-1; every rank must pass the same groups slice
+// (same order), iter, op and vector length. Each group's first member acts
+// as its leader; the leader exchange uses the cost-model selector over the
+// leader SubMesh.
+func HierarchicalAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, groups [][]int) error {
+	n := m.Size()
+	if n == 1 {
+		return nil
+	}
+	seen := make([]bool, n)
+	covered := 0
+	var mine []int
+	leaders := make([]int, 0, len(groups))
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("collective: hierarchical group %d empty", gi)
+		}
+		leaders = append(leaders, g[0])
+		for _, r := range g {
+			if r < 0 || r >= n || seen[r] {
+				return fmt.Errorf("collective: hierarchical groups must partition 0..%d (rank %d duplicate or out of range)", n-1, r)
+			}
+			seen[r] = true
+			covered++
+			if r == m.Rank() {
+				mine = g
+			}
+		}
+	}
+	if covered != n {
+		return fmt.Errorf("collective: hierarchical groups cover %d of %d ranks", covered, n)
+	}
+	if mine == nil {
+		return fmt.Errorf("collective: rank %d not in any group", m.Rank())
+	}
+
+	// Level 1: intra-group ring reduce-to-all. Every member of the group
+	// ends with the group sum; summing (not averaging) keeps the final
+	// scaling a single, bit-consistent 1/N at the leader.
+	var sub *transport.SubMesh
+	if len(mine) > 1 {
+		var err error
+		sub, err = transport.NewSubMesh(m, mine)
+		if err != nil {
+			return err
+		}
+		if err := RingAllReduce(sub, iter, v, OpSum); err != nil {
+			return fmt.Errorf("hierarchical intra-group: %w", err)
+		}
+	}
+
+	// Level 2: the group leaders exchange group sums. The leader SubMesh
+	// peer pairs are disjoint from every intra-group pair (one leader per
+	// group), so the two levels' traffic cannot interleave.
+	if m.Rank() == mine[0] {
+		if len(leaders) > 1 {
+			lsub, err := transport.NewSubMesh(m, leaders)
+			if err != nil {
+				return err
+			}
+			if err := AllReduceWith(lsub, iter, v, OpSum, AlgoAuto); err != nil {
+				return fmt.Errorf("hierarchical inter-group: %w", err)
+			}
+		}
+		if op == OpAverage {
+			v.Scale(1 / float64(n))
+		}
+	}
+
+	// Broadcast the finished vector back inside the group. Per-pair FIFO
+	// ordering keeps it causally after the level-1 traffic.
+	if sub != nil {
+		if err := Broadcast(sub, iter, v, 0); err != nil {
+			return fmt.Errorf("hierarchical broadcast: %w", err)
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/tensor"
@@ -77,9 +78,23 @@ func defaultSegments(chunkElems int) int {
 	return s
 }
 
-// segTag packs (chunk, segment) into the message Chunk field.
+// segTag packs (chunk, segment) into the message Chunk field. ringAllReduce
+// validates n·segments against the int32 tag space up front (ErrTagOverflow),
+// so the packing here cannot wrap.
 func segTag(chunkIdx, segments, k int) int32 {
 	return int32(chunkIdx*segments + k)
+}
+
+// checkSegTagSpace rejects (rank count, pipeline depth) combinations whose
+// packed tags would overflow the int32 Chunk field: the largest tag is
+// n·segments − 1, so n·segments must stay within MaxInt32. Without this
+// guard distinct segments would silently alias onto one tag and defeat the
+// protocol checks.
+func checkSegTagSpace(n, segments int) error {
+	if n < 1 || segments < 1 || int64(n)*int64(segments) > math.MaxInt32 {
+		return fmt.Errorf("%w: %d ranks x %d segments exceeds int32 tag space", ErrTagOverflow, n, segments)
+	}
+	return nil
 }
 
 // sendChunkIndex returns the chunk a rank sends at global step s: scatter
@@ -245,6 +260,9 @@ func ringAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, s
 		segments = defaultSegments(len(v) / n)
 	}
 	K := segments
+	if err := checkSegTagSpace(n, K); err != nil {
+		return err
+	}
 	steps := 2 * (n - 1)
 
 	s := getRingSender(steps)
@@ -306,10 +324,9 @@ func ringAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, s
 			if err != nil {
 				return fail(fmt.Errorf("ring recv: %w", err))
 			}
-			if msg.Iter != iter || msg.Chunk != segTag(recvIdx, K, k) {
+			if err := checkMsg("ring", msg, transport.MsgChunk, iter, segTag(recvIdx, K, k)); err != nil {
 				transport.PutPayload(msg.Payload)
-				return fail(fmt.Errorf("%w: ring got iter=%d chunk=%d, want iter=%d chunk=%d",
-					ErrProtocol, msg.Iter, msg.Chunk, iter, segTag(recvIdx, K, k)))
+				return fail(err)
 			}
 			ss, se, _ := tensor.ChunkBounds(ce-cs, K, k)
 			seg := v[cs+ss : cs+se]

@@ -163,7 +163,7 @@ func RunEagerWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainC
 			} else {
 				res.NullContribs++
 			}
-			pr, err := collective.PartialRingAllReduce(mesh, k, in, ok)
+			pr, err := collective.PartialAllReduce(mesh, k, in, ok)
 			if err != nil {
 				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 				abort()

@@ -199,7 +199,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 			} else {
 				res.NullContribs++
 			}
-			pr, err := collective.PartialRingAllReduce(mesh, k, in, ok)
+			pr, err := collective.PartialAllReduce(mesh, k, in, ok)
 			if err != nil {
 				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 				abort()
@@ -296,7 +296,7 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 		}
 		fired, _ := ctrl.Await(k)
 		<-fired
-		if err := collective.RingAllReduce(mesh, k, grad, collective.OpAverage); err != nil {
+		if err := collective.AllReduce(mesh, k, grad, collective.OpAverage); err != nil {
 			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 		}
 		if _, err := optim.Step(params, grad, 1); err != nil {

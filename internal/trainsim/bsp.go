@@ -106,7 +106,7 @@ func runBSP(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		commCost := cfg.Comm.RingAllReduce(cfg.Workers, cfg.Spec.GradientBytes())
+		commCost := cfg.allReduceCost(cfg.Workers, cfg.Spec.GradientBytes())
 		syncEnd := fire + commCost
 		for w := 0; w < cfg.Workers; w++ {
 			res.Breakdowns[w].Wait += fire - ready[w]

@@ -483,8 +483,9 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 	}
 
 	// Price the collective: one extra payload element carries the
-	// contribution count (see collective.PartialRingAllReduce).
-	commCost := s.cfg.Comm.RingAllReduce(s.n, s.cfg.Spec.GradientBytes()+8)
+	// contribution count (see collective.PartialAllReduce). The schedule
+	// is the configured one (ring by default, auto for selector runs).
+	commCost := s.cfg.allReduceCost(s.n, s.cfg.Spec.GradientBytes()+8)
 	if s.payCopy && !s.cfg.DirectGPU {
 		oh := s.cfg.Comm.RNACopyOverhead(s.cfg.Spec.GradientBytes())
 		if s.cfg.LayerOverlap {

@@ -94,6 +94,13 @@ type Config struct {
 	Injector hetero.Injector
 	Spec     workload.ModelSpec
 	Comm     workload.CommModel
+	// Collective selects the AllReduce schedule the engines price: the
+	// zero value is the paper's ring; workload.AllReduceAuto opts into
+	// the cost-model selector (cheapest of ring / halving-doubling /
+	// tree at each rank count and message size), mirroring the runtime
+	// engine in internal/collective. Hierarchical groups inherit it for
+	// their intra-group collectives.
+	Collective workload.AllReduceAlgo
 	// SpeedFactors optionally scales each worker's compute time
 	// multiplicatively (deterministic hardware heterogeneity: the
 	// paper's Table 2 testbed mixes K80, 1080Ti and 2080Ti GPUs).
@@ -197,6 +204,12 @@ func (c *Config) evalEvery() int {
 		return 10
 	}
 	return c.EvalEvery
+}
+
+// allReduceCost prices one synchronization's collective for n ranks under
+// the configured schedule.
+func (c *Config) allReduceCost(n int, bytes int64) time.Duration {
+	return c.Comm.AllReduce(c.Collective, n, bytes)
 }
 
 func (c *Config) injector() hetero.Injector {

@@ -25,6 +25,9 @@ const (
 	MsgBroadcast
 	// MsgControl carries small control payloads (activations, acks).
 	MsgControl
+	// MsgReduce carries partial sums during tree and halving-doubling
+	// reductions (fold-in, recursive-halving and reduce-to-root traffic).
+	MsgReduce
 )
 
 // Message is the unit of exchange on a Mesh.

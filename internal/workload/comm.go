@@ -68,6 +68,104 @@ func (c CommModel) RingAllReduce(n int, bytes int64) time.Duration {
 	return time.Duration(steps) * c.transfer(chunk)
 }
 
+// AllReduceAlgo selects which collective schedule CommModel prices for an
+// AllReduce. The zero value is the ring — the paper's schedule and the
+// historical behavior of every engine — so existing configurations are
+// unchanged; AllReduceAuto opts a simulation into cost-model-driven
+// selection, mirroring collective.AllReduce's runtime selector.
+type AllReduceAlgo int
+
+// Priced schedules.
+const (
+	// AllReduceRing is the 2(N−1)-step bandwidth-optimal ring.
+	AllReduceRing AllReduceAlgo = iota
+	// AllReduceAuto prices the cheapest schedule at each (n, bytes).
+	AllReduceAuto
+	// AllReduceHalvingDoubling is recursive halving-doubling.
+	AllReduceHalvingDoubling
+	// AllReduceTree is binomial-tree reduce + broadcast.
+	AllReduceTree
+)
+
+// String implements fmt.Stringer.
+func (a AllReduceAlgo) String() string {
+	switch a {
+	case AllReduceRing:
+		return "ring"
+	case AllReduceAuto:
+		return "auto"
+	case AllReduceHalvingDoubling:
+		return "halving-doubling"
+	case AllReduceTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("allreduce-algo(%d)", int(a))
+	}
+}
+
+// HalvingDoublingAllReduce returns the cost of a recursive halving-doubling
+// AllReduce: 2·log2(p) steps moving bytes/2, bytes/4, … (p the largest
+// power of two ≤ n), plus a fold-in pre/post phase of two full-size
+// transfers when n is not a power of two. Latency-optimal among
+// bandwidth-optimal schedules: 2·log2(p) message latencies vs the ring's
+// 2(n−1).
+func (c CommModel) HalvingDoublingAllReduce(n int, bytes int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	p := 1
+	for p<<1 <= n {
+		p <<= 1
+	}
+	var d time.Duration
+	if p != n {
+		d += 2 * c.transfer(bytes)
+	}
+	for half := bytes / 2; p > 1; p >>= 1 {
+		d += 2 * c.transfer(half)
+		half /= 2
+	}
+	return d
+}
+
+// TreeAllReduce returns the cost of a binomial-tree reduce-to-root plus
+// broadcast: 2·⌈log2 n⌉ serialized full-size transfers. The fewest
+// messages of any dense schedule, at log-factor extra byte volume — the
+// small-tensor schedule.
+func (c CommModel) TreeAllReduce(n int, bytes int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	steps := 0
+	for span := 1; span < n; span <<= 1 {
+		steps++
+	}
+	return time.Duration(2*steps) * c.transfer(bytes)
+}
+
+// AllReduce prices one AllReduce under the given schedule; AllReduceAuto
+// returns the cheapest, mirroring the runtime selector in
+// internal/collective.
+func (c CommModel) AllReduce(algo AllReduceAlgo, n int, bytes int64) time.Duration {
+	switch algo {
+	case AllReduceHalvingDoubling:
+		return c.HalvingDoublingAllReduce(n, bytes)
+	case AllReduceTree:
+		return c.TreeAllReduce(n, bytes)
+	case AllReduceAuto:
+		best := c.RingAllReduce(n, bytes)
+		if t := c.HalvingDoublingAllReduce(n, bytes); t < best {
+			best = t
+		}
+		if t := c.TreeAllReduce(n, bytes); t < best {
+			best = t
+		}
+		return best
+	default:
+		return c.RingAllReduce(n, bytes)
+	}
+}
+
 // NaiveAllReduce returns the cost of the gather-then-broadcast alternative
 // (everyone sends the full buffer to a root which broadcasts back): 2(N−1)
 // full-size serialized transfers at the root's link. Used by the ablation
