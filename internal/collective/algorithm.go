@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -70,16 +71,55 @@ func AllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error
 // schedule (AlgoAuto defers to the cost-model selector). All ranks must
 // pass the same algorithm, iter, op and vector length.
 func AllReduceWith(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, algo Algorithm) error {
+	return AllReduceOpts(m, iter, v, op, Options{Algorithm: algo})
+}
+
+// Options bundles the tunables of one AllReduce call beyond (op, iter).
+// The zero value reproduces AllReduce exactly: auto-selected schedule,
+// uncompressed fp64 wire, no error feedback.
+type Options struct {
+	// Algorithm pins a schedule; AlgoAuto defers to the cost-model
+	// selector (which prices the Compression dtype's wire volume).
+	Algorithm Algorithm
+	// Compression is the wire dtype of the distribution phase — the ring
+	// allgather, the halving-doubling doubling phase, the tree broadcast.
+	// The reduction itself always runs in fp64, and every rank still
+	// finishes with bit-identical bytes: elements are quantized exactly
+	// once, by the rank that owns them, and re-encoding forwarded grid
+	// values is exact (see tensor.RoundTrip). tensor.F64 disables
+	// compression.
+	Compression tensor.Dtype
+	// Residual, when non-nil (it must then have v's length), accumulates
+	// the quantization error (pre − post) of the regions THIS rank
+	// compressed from exact fp64 — its owned chunks/windows, or the whole
+	// vector at the tree root. Adding the residual into the next
+	// iteration's local gradient implements error-feedback compression;
+	// the residual is distributed across ranks by ownership, matching how
+	// the error physically arises.
+	Residual tensor.Vector
+}
+
+// AllReduceOpts reduces v in place across all ranks of m under opts. All
+// ranks must pass the same algorithm, compression dtype, iter, op and
+// vector length (residuals are rank-local and may differ).
+func AllReduceOpts(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, opts Options) error {
+	if !opts.Compression.Valid() {
+		return fmt.Errorf("collective: unknown compression dtype %d", opts.Compression)
+	}
+	if opts.Residual != nil && len(opts.Residual) != len(v) {
+		return fmt.Errorf("collective: residual length %d != vector length %d", len(opts.Residual), len(v))
+	}
+	algo := opts.Algorithm
 	if algo == AlgoAuto {
-		algo = SelectAlgorithm(m.Size(), len(v))
+		algo = SelectAlgorithmWire(m.Size(), len(v), opts.Compression)
 	}
 	switch algo {
 	case AlgoRing:
-		return RingAllReduce(m, iter, v, op)
+		return ringAllReduce(m, iter, v, op, 0, opts.Compression, opts.Residual)
 	case AlgoHalvingDoubling:
-		return HalvingDoublingAllReduce(m, iter, v, op)
+		return halvingDoublingAllReduce(m, iter, v, op, opts.Compression, opts.Residual)
 	case AlgoTree:
-		return TreeAllReduce(m, iter, v, op)
+		return treeAllReduce(m, iter, v, op, opts.Compression, opts.Residual)
 	default:
 		return fmt.Errorf("collective: unsupported algorithm %v", algo)
 	}
@@ -90,12 +130,22 @@ func AllReduceWith(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, a
 // ride on any sum AllReduce, so the selector applies unchanged. The
 // returned Sum lives in a pooled buffer — call Release when done.
 func PartialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
-	return partialAllReduce(m, iter, v, contributes, AlgoAuto)
+	return partialAllReduce(m, iter, v, contributes, Options{})
+}
+
+// PartialAllReduceOpts is the partial collective under Options — the entry
+// point for compressed RNA training. Compression keeps the partial
+// semantics: the contributor count rides the reduction as one extra
+// element, decoded with round-and-clamp so block quantization noise (the
+// count shares its block's scale under I8) cannot corrupt it for any
+// realistic count; counts are exact whenever the flag block's scale is ≤ 1.
+func PartialAllReduceOpts(m transport.Mesh, iter int64, v tensor.Vector, contributes bool, opts Options) (PartialResult, error) {
+	return partialAllReduce(m, iter, v, contributes, opts)
 }
 
 // partialAllReduce implements the partial collective on top of any
 // schedule.
-func partialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool, algo Algorithm) (PartialResult, error) {
+func partialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool, opts Options) (PartialResult, error) {
 	work := tensor.Vector(transport.GetPayload(len(v) + 1))
 	if contributes {
 		copy(work, v)
@@ -103,10 +153,36 @@ func partialAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes
 	} else {
 		work.Zero()
 	}
-	if err := AllReduceWith(m, iter, work, OpSum, algo); err != nil {
+	// The caller's residual matches len(v), but the reduced vector carries
+	// the extra flag element; collect error feedback into an extended
+	// scratch residual and fold the data part back. The flag element's
+	// quantization error is deliberately dropped — feeding it back would
+	// distort future counts.
+	innerOpts := opts
+	var extRes tensor.Vector
+	if opts.Residual != nil && opts.Compression != tensor.F64 {
+		extRes = tensor.Vector(transport.GetPayload(len(v) + 1))
+		extRes.Zero()
+		innerOpts.Residual = extRes
+	} else {
+		innerOpts.Residual = nil
+	}
+	if err := AllReduceOpts(m, iter, work, OpSum, innerOpts); err != nil {
 		transport.PutPayload(work)
+		if extRes != nil {
+			transport.PutPayload(extRes)
+		}
 		return PartialResult{}, err
 	}
-	contributors := int(work[len(v)] + 0.5)
+	if extRes != nil {
+		_ = opts.Residual.Add(extRes[:len(v)])
+		transport.PutPayload(extRes)
+	}
+	contributors := int(math.Round(work[len(v)]))
+	if contributors < 0 {
+		contributors = 0
+	} else if contributors > m.Size() {
+		contributors = m.Size()
+	}
 	return PartialResult{Sum: work[:len(v)], Contributors: contributors}, nil
 }

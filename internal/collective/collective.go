@@ -43,7 +43,7 @@ var ErrProtocol = errors.New("collective: protocol violation")
 // compute hides behind transfer. Results are bit-identical to the serial
 // schedule.
 func RingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
-	return ringAllReduce(m, iter, v, op, 0)
+	return ringAllReduce(m, iter, v, op, 0, tensor.F64, nil)
 }
 
 // RingAllReduceSegmented is RingAllReduce with an explicit pipeline depth:
@@ -51,7 +51,7 @@ func RingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) e
 // selects the depth automatically (the RingAllReduce default). All ranks
 // must pass the same depth.
 func RingAllReduceSegmented(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, segments int) error {
-	return ringAllReduce(m, iter, v, op, segments)
+	return ringAllReduce(m, iter, v, op, segments, tensor.F64, nil)
 }
 
 // PartialResult is the outcome of a partial AllReduce.
@@ -84,13 +84,21 @@ func (r PartialResult) Release() {
 func PartialRingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, contributes bool) (PartialResult, error) {
 	// The contribution flag piggybacks as one extra element so the count
 	// is reduced by the same pass as the data (see partialAllReduce).
-	return partialAllReduce(m, iter, v, contributes, AlgoRing)
+	return partialAllReduce(m, iter, v, contributes, Options{Algorithm: AlgoRing})
 }
 
 // Broadcast distributes root's v to all ranks via a binomial tree rooted at
 // root. On non-root ranks v is overwritten with the received data; all
 // ranks must pass a v of equal length.
 func Broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int) error {
+	return broadcast(m, iter, v, root, tensor.F64)
+}
+
+// broadcast is Broadcast with a wire dtype. The root must already hold
+// quantized (grid) values when wire is lossy — every relay then re-encodes
+// the full vector it decoded, which is exact by idempotence, so all ranks
+// finish with the root's bytes.
+func broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int, wire tensor.Dtype) error {
 	n := m.Size()
 	if n == 1 {
 		return nil
@@ -137,6 +145,7 @@ func Broadcast(m transport.Mesh, iter int64, v tensor.Vector, root int) error {
 		if err := m.Send(dst, transport.Message{
 			Type:    transport.MsgBroadcast,
 			Iter:    iter,
+			Dtype:   wire,
 			Payload: v,
 		}); err != nil {
 			return fmt.Errorf("broadcast send: %w", err)

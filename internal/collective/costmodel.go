@@ -128,15 +128,106 @@ func (c CostModel) PredictNs(a Algorithm, n int, bytes int64) float64 {
 // when the model cannot distinguish them. The choice is a pure function of
 // (n, elems) and the model, so SPMD ranks sharing a model always agree.
 func (c CostModel) Select(n, elems int) Algorithm {
+	return c.SelectWire(n, elems, tensor.F64)
+}
+
+// Wire-aware critical-path shapes. Compression applies to the distribution
+// phase only (the reduction ships fp64), so each shape splits into a raw
+// fp64 term and a wire-priced term. PredictWireNs delegates F64 to the
+// plain shapes above, so uncompressed predictions — and therefore the
+// existing selector behavior — are unchanged to the bit.
+
+func ringShapeWire(n, elems int, wire tensor.Dtype) (msgs, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	chunk := elems / n
+	steps := float64(2 * (n - 1))
+	scatter := float64(n-1) * float64(8*chunk)
+	gather := float64(n-1) * float64(wire.WireBytes(chunk))
+	return steps, scatter + gather
+}
+
+func halvingDoublingShapeWire(n, elems int, wire tensor.Dtype) (msgs, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	p := highestBit(n)
+	half := float64(elems) * float64(p-1) / float64(p) // per-phase gross elements
+	msgs = float64(log2(p))
+	vol = 8 * half // halving phase: fp64 partial sums
+	if wire.PerElement() {
+		msgs += float64(log2(p))
+	} else {
+		// Block-scaled dtypes send the doubling window as per-ownership
+		// sub-messages: 1+2+…+2^(log2 p − 1) = p−1 across the phase.
+		msgs += float64(p - 1)
+	}
+	vol += float64(wire.WireBytes(int(half))) // doubling phase: wire dtype
+	if p != n {
+		msgs += 2
+		vol += 2 * 8 * float64(elems) // fold-in/out always fp64
+	}
+	return msgs, vol
+}
+
+func treeShapeWire(n, elems int, wire tensor.Dtype) (msgs, vol float64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	steps := float64(ceilLog2(n))
+	return 2 * steps, steps * (float64(8*elems) + float64(wire.WireBytes(elems)))
+}
+
+// PredictWireNs returns the modeled latency of one AllReduce of elems
+// elements whose distribution phase ships the given wire dtype. For
+// tensor.F64 it agrees exactly with PredictNs. AlgoAuto predicts the
+// minimum over the concrete algorithms.
+func (c CostModel) PredictWireNs(a Algorithm, n, elems int, wire tensor.Dtype) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if wire == tensor.F64 {
+		return c.PredictNs(a, n, int64(elems)*8)
+	}
+	var msgs, vol float64
+	var k AlgoCost
+	switch a {
+	case AlgoRing:
+		msgs, vol = ringShapeWire(n, elems, wire)
+		k = c.Ring
+	case AlgoHalvingDoubling:
+		msgs, vol = halvingDoublingShapeWire(n, elems, wire)
+		k = c.HalvingDoubling
+	case AlgoTree:
+		msgs, vol = treeShapeWire(n, elems, wire)
+		k = c.Tree
+	default: // AlgoAuto
+		best := c.PredictWireNs(AlgoRing, n, elems, wire)
+		if t := c.PredictWireNs(AlgoHalvingDoubling, n, elems, wire); t < best {
+			best = t
+		}
+		if t := c.PredictWireNs(AlgoTree, n, elems, wire); t < best {
+			best = t
+		}
+		return best
+	}
+	return msgs*k.AlphaNs + vol*k.BetaNsPerByte
+}
+
+// SelectWire is Select pricing the given distribution-phase wire dtype —
+// compression shifts the ring↔log-depth crossover (narrower wire shrinks
+// the ring's bandwidth advantage; I8 additionally inflates the doubling
+// phase's message count), so the selector must see it.
+func (c CostModel) SelectWire(n, elems int, wire tensor.Dtype) Algorithm {
 	if n <= 1 {
 		return AlgoRing
 	}
-	bytes := int64(elems) * 8
-	best, bestT := AlgoHalvingDoubling, c.PredictNs(AlgoHalvingDoubling, n, bytes)
-	if t := c.PredictNs(AlgoTree, n, bytes); t < bestT {
+	best, bestT := AlgoHalvingDoubling, c.PredictWireNs(AlgoHalvingDoubling, n, elems, wire)
+	if t := c.PredictWireNs(AlgoTree, n, elems, wire); t < bestT {
 		best, bestT = AlgoTree, t
 	}
-	if t := c.PredictNs(AlgoRing, n, bytes); t < bestT {
+	if t := c.PredictWireNs(AlgoRing, n, elems, wire); t < bestT {
 		best = AlgoRing
 	}
 	return best
@@ -187,6 +278,12 @@ func SetCostModel(m CostModel) {
 // an AllReduce of elems elements across n ranks.
 func SelectAlgorithm(n, elems int) Algorithm {
 	return ActiveCostModel().Select(n, elems)
+}
+
+// SelectAlgorithmWire is SelectAlgorithm pricing a compressed distribution
+// phase.
+func SelectAlgorithmWire(n, elems int, wire tensor.Dtype) Algorithm {
+	return ActiveCostModel().SelectWire(n, elems, wire)
 }
 
 // Calibration is the persisted form of a fitted cost model.

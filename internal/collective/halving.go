@@ -47,6 +47,18 @@ const (
 // recursive halving-doubling. All ranks must pass vectors of equal length
 // and the same iter; results are identical on every rank.
 func HalvingDoublingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
+	return halvingDoublingAllReduce(m, iter, v, op, tensor.F64, nil)
+}
+
+// halvingDoublingAllReduce is HalvingDoublingAllReduce with a doubling-phase
+// wire dtype and an error-feedback residual. Compression applies to the
+// allgather (doubling) traffic only: halving exchanges carry partial sums
+// whose quantization would compound across hops, and the fold-in/fold-out
+// phases ship fp64 because the fold-out re-sends the FULL finished vector —
+// under a block-scaled dtype a full-vector re-encode would use different
+// block boundaries than the per-window gather did, breaking bit-identity
+// between fold pairs.
+func halvingDoublingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, wire tensor.Dtype, residual tensor.Vector) error {
 	n := m.Size()
 	if n == 1 {
 		return nil
@@ -85,7 +97,7 @@ func HalvingDoublingAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op 
 	}
 
 	if newrank >= 0 {
-		if err := halvingDoublingCore(m, iter, v, op, n, rank, newrank, p, r); err != nil {
+		if err := halvingDoublingCore(m, iter, v, op, n, rank, newrank, p, r, wire, residual); err != nil {
 			return err
 		}
 	}
@@ -127,10 +139,28 @@ func hdGlobal(newrank, r int) int {
 	return newrank + r
 }
 
+// forEachSubWindow enumerates the finest ownership sub-intervals of
+// [lo,hi): the intervals `levels` further recursive midpoint splits
+// produce, in ascending order. The midpoint rule is the same one the
+// halving phase uses, so sender and receiver always agree on the
+// boundaries. Block-scaled wire dtypes (I8) ship each sub-interval as its
+// own message: its bytes are then identical at every hop of the doubling
+// phase, no matter how large the enclosing window has grown.
+func forEachSubWindow(lo, hi, levels int, fn func(a, b int) error) error {
+	if levels == 0 {
+		return fn(lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	if err := forEachSubWindow(lo, mid, levels-1, fn); err != nil {
+		return err
+	}
+	return forEachSubWindow(mid, hi, levels-1, fn)
+}
+
 // halvingDoublingCore runs the power-of-two reduce-scatter + allgather on
 // the p active ranks. v ends with the complete reduction on every active
 // rank; under OpAverage it is already scaled by 1/n.
-func halvingDoublingCore(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, n, rank, newrank, p, r int) error {
+func halvingDoublingCore(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, n, rank, newrank, p, r int, wire tensor.Dtype, residual tensor.Vector) error {
 	// Window bounds per halving step, replayed in reverse by the doubling
 	// phase. log2(p) ≤ 31 so a fixed-size stack avoids allocation.
 	var (
@@ -178,21 +208,45 @@ func halvingDoublingCore(m transport.Mesh, iter int64, v tensor.Vector, op Reduc
 
 	// The rank's owned window now holds its slice of the complete sum;
 	// scale it here so the allgather circulates pre-averaged values and all
-	// ranks receive identical bits.
+	// ranks receive identical bits. Under compression this is also the one
+	// point where exact fp64 values exist, so the owned window quantizes —
+	// and captures its error-feedback residual — here.
 	if op == OpAverage {
 		v[lo:hi].Scale(1 / float64(n))
+	}
+	if wire != tensor.F64 {
+		if residual != nil {
+			tensor.RoundTripEF(wire, v[lo:hi], residual[lo:hi])
+		} else {
+			tensor.RoundTrip(wire, v[lo:hi])
+		}
 	}
 
 	// Allgather by recursive doubling: retrace the halving in reverse,
 	// exchanging the current window for the partner's sibling half until
-	// the window grows back to the whole vector.
+	// the window grows back to the whole vector. Per-element wire dtypes
+	// ship each growing window as one compressed message; block-scaled
+	// dtypes split it into the finest ownership sub-windows (2^level
+	// messages at doubling level `level`, all under the step's tag, ordered
+	// by the FIFO link) so every element's wire bytes stay constant across
+	// hops.
+	level := 0
 	for depth > 0 {
 		depth--
 		plo, phi := parentLo[depth], parentHi[depth]
 		partner := hdGlobal(newrank^dists[depth], r)
-		if err := m.Send(partner, transport.Message{
-			Type: transport.MsgReduce, Iter: iter, Chunk: step, Payload: v[lo:hi],
-		}); err != nil {
+		send := func(a, b int) error {
+			return m.Send(partner, transport.Message{
+				Type: transport.MsgReduce, Iter: iter, Chunk: step, Dtype: wire, Payload: v[a:b],
+			})
+		}
+		var err error
+		if wire.PerElement() {
+			err = send(lo, hi)
+		} else {
+			err = forEachSubWindow(lo, hi, level, send)
+		}
+		if err != nil {
 			return fmt.Errorf("doubling step %d send: %w", step, err)
 		}
 		// The partner holds the sibling half within the parent window.
@@ -200,21 +254,33 @@ func halvingDoublingCore(m transport.Mesh, iter int64, v tensor.Vector, op Reduc
 		if lo == plo {
 			theirLo, theirHi = hi, phi
 		}
-		msg, err := m.Recv(partner)
-		if err != nil {
-			return fmt.Errorf("doubling step %d recv: %w", step, err)
-		}
-		if err := checkMsg("halving-doubling", msg, transport.MsgReduce, iter, step); err != nil {
+		recv := func(a, b int) error {
+			msg, err := m.Recv(partner)
+			if err != nil {
+				return fmt.Errorf("doubling step %d recv: %w", step, err)
+			}
+			if err := checkMsg("halving-doubling", msg, transport.MsgReduce, iter, step); err != nil {
+				transport.PutPayload(msg.Payload)
+				return err
+			}
+			err = v[a:b].CopyFrom(msg.Payload)
 			transport.PutPayload(msg.Payload)
-			return err
+			if err != nil {
+				return fmt.Errorf("doubling step %d copy: %w", step, err)
+			}
+			return nil
 		}
-		err = v[theirLo:theirHi].CopyFrom(msg.Payload)
-		transport.PutPayload(msg.Payload)
+		if wire.PerElement() {
+			err = recv(theirLo, theirHi)
+		} else {
+			err = forEachSubWindow(theirLo, theirHi, level, recv)
+		}
 		if err != nil {
-			return fmt.Errorf("doubling step %d copy: %w", step, err)
+			return err
 		}
 		lo, hi = plo, phi
 		step++
+		level++
 	}
 	return nil
 }

@@ -23,6 +23,15 @@ import (
 // reduce + broadcast. All ranks must pass vectors of equal length and the
 // same iter; results are identical on every rank.
 func TreeAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) error {
+	return treeAllReduce(m, iter, v, op, tensor.F64, nil)
+}
+
+// treeAllReduce is TreeAllReduce with a broadcast wire dtype and an
+// error-feedback residual. The reduce-to-root phase always ships fp64; the
+// root quantizes the finished vector once (capturing the residual — the
+// root is the only rank that ever sees exact values) and the broadcast
+// relays its grid bytes, which re-encode exactly.
+func treeAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, wire tensor.Dtype, residual tensor.Vector) error {
 	n := m.Size()
 	if n == 1 {
 		return nil
@@ -61,9 +70,19 @@ func TreeAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp) e
 		}
 	}
 
-	// Scale at the root so the broadcast distributes pre-averaged bytes.
-	if rank == 0 && op == OpAverage {
-		v.Scale(1 / float64(n))
+	// Scale — and, under compression, quantize — at the root so the
+	// broadcast distributes the finished bytes.
+	if rank == 0 {
+		if op == OpAverage {
+			v.Scale(1 / float64(n))
+		}
+		if wire != tensor.F64 {
+			if residual != nil {
+				tensor.RoundTripEF(wire, v, residual)
+			} else {
+				tensor.RoundTrip(wire, v)
+			}
+		}
 	}
-	return Broadcast(m, iter, v, 0)
+	return broadcast(m, iter, v, 0, wire)
 }

@@ -32,6 +32,12 @@ type TrainConfig struct {
 	StalenessBound int
 	// Seed derives this worker's RNG streams.
 	Seed int64
+	// Compression selects the wire dtype for gradient synchronization
+	// (tensor.F64, the zero value, disables it). Lossy dtypes enable
+	// error-feedback: each worker keeps the quantization residual of the
+	// regions it compressed and folds it into its next contribution, so
+	// the compression error is corrected rather than accumulated.
+	Compression tensor.Dtype
 	// SlowDown optionally injects extra compute latency per iteration
 	// for a given rank (tests and examples use it to create stragglers).
 	SlowDown func(rank, iter int) time.Duration
@@ -47,7 +53,19 @@ func (c *TrainConfig) validate() error {
 	if c.Iterations < 1 {
 		return fmt.Errorf("core: %d iterations", c.Iterations)
 	}
+	if !c.Compression.Valid() {
+		return fmt.Errorf("core: unknown compression dtype %d", c.Compression)
+	}
 	return nil
+}
+
+// residual allocates the error-feedback buffer for lossy wires; nil
+// disables residual capture in the collective.
+func (c *TrainConfig) residual(dim int) tensor.Vector {
+	if c.Compression == tensor.F64 {
+		return nil
+	}
+	return tensor.New(dim)
 }
 
 func (c *TrainConfig) bound() int {
@@ -182,6 +200,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		residual := cfg.residual(dim)
 		for k := int64(0); k < int64(cfg.Iterations); k++ {
 			fired, _ := ctrl.Await(k)
 			<-fired
@@ -196,10 +215,22 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 			if ok {
 				in = contrib
 				res.Contributed++
+				// Error feedback: fold the quantization error this rank's
+				// owned regions suffered in earlier rounds into the fresh
+				// contribution. The partial collective sums contributions
+				// before quantizing, so summing the per-rank residuals back
+				// in reconstructs the lost mass exactly (in expectation the
+				// compressed trajectory tracks the fp64 one).
+				if residual != nil {
+					_ = contrib.Add(residual)
+					residual.Zero()
+				}
 			} else {
 				res.NullContribs++
 			}
-			pr, err := collective.PartialAllReduce(mesh, k, in, ok)
+			pr, err := collective.PartialAllReduceOpts(mesh, k, in, ok, collective.Options{
+				Compression: cfg.Compression, Residual: residual,
+			})
 			if err != nil {
 				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 				abort()
@@ -266,6 +297,7 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 	}
 	start := time.Now()
 	rank := mesh.Rank()
+	n := mesh.Size()
 	dim := cfg.Model.Dim()
 
 	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
@@ -279,6 +311,7 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 
 	res := &Result{Losses: make([]float64, 0, cfg.Iterations)}
 	grad := tensor.New(dim)
+	residual := cfg.residual(dim)
 	for k := int64(0); k < int64(cfg.Iterations); k++ {
 		batch := cfg.Batch(batchSrc)
 		loss, err := cfg.Model.Gradient(params, grad, batch)
@@ -296,7 +329,16 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 		}
 		fired, _ := ctrl.Await(k)
 		<-fired
-		if err := collective.AllReduce(mesh, k, grad, collective.OpAverage); err != nil {
+		// Error feedback: the residual holds this rank's owned-region
+		// quantization error of the AVERAGED result, so scaling by n before
+		// the local add makes the next average regain exactly Σ_r residual_r.
+		if residual != nil {
+			_ = grad.AddScaled(float64(n), residual)
+			residual.Zero()
+		}
+		if err := collective.AllReduceOpts(mesh, k, grad, collective.OpAverage, collective.Options{
+			Compression: cfg.Compression, Residual: residual,
+		}); err != nil {
 			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 		}
 		if _, err := optim.Step(params, grad, 1); err != nil {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// compressedDtypes are the lossy wire formats the workers can train over.
+var compressedDtypes = []tensor.Dtype{tensor.F32, tensor.F16, tensor.I8}
+
+// TestRNAWorkerCompressed: compression must not break the RNA invariant —
+// every rank applies the same reduced update, so parameters stay
+// BIT-identical across ranks — and with error feedback the model must still
+// learn as well as the fp64 baseline.
+func TestRNAWorkerCompressed(t *testing.T) {
+	const n = 4
+	for _, wire := range compressedDtypes {
+		cfg, ds := blobConfig(t, 80)
+		cfg.Compression = wire
+		ctrl, err := controller.New(controller.PowerOfChoices, n, 2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := trainCluster(t, n, func(m transport.Mesh) (*Result, error) {
+			return RunRNAWorker(m, ctrl, cfg)
+		})
+		for r := 1; r < n; r++ {
+			for j := range results[0].Params {
+				if math.Float64bits(results[r].Params[j]) != math.Float64bits(results[0].Params[j]) {
+					t.Fatalf("%v: rank %d param %d differs from rank 0: %v vs %v",
+						wire, r, j, results[r].Params[j], results[0].Params[j])
+				}
+			}
+		}
+		cls := cfg.Model.(model.Classifier)
+		top1, _, err := cls.Accuracy(results[0].Params, model.All(ds), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top1 < 0.8 {
+			t.Errorf("%v: RNA top-1 after compressed training = %v", wire, top1)
+		}
+	}
+}
+
+// TestBSPWorkerCompressed mirrors the RNA test for the blocking baseline.
+func TestBSPWorkerCompressed(t *testing.T) {
+	const n = 4
+	for _, wire := range compressedDtypes {
+		cfg, ds := blobConfig(t, 60)
+		cfg.Compression = wire
+		ctrl, err := controller.New(controller.AllReady, n, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := trainCluster(t, n, func(m transport.Mesh) (*Result, error) {
+			return RunBSPWorker(m, ctrl, cfg)
+		})
+		for r := 1; r < n; r++ {
+			for j := range results[0].Params {
+				if math.Float64bits(results[r].Params[j]) != math.Float64bits(results[0].Params[j]) {
+					t.Fatalf("%v: rank %d param %d differs from rank 0", wire, r, j)
+				}
+			}
+		}
+		cls := cfg.Model.(model.Classifier)
+		top1, _, err := cls.Accuracy(results[0].Params, model.All(ds), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top1 < 0.8 {
+			t.Errorf("%v: BSP top-1 after compressed training = %v", wire, top1)
+		}
+	}
+}
+
+// TestTrainConfigRejectsUnknownDtype: validation catches garbage before any
+// goroutines spin up.
+func TestTrainConfigRejectsUnknownDtype(t *testing.T) {
+	cfg, _ := blobConfig(t, 1)
+	cfg.Compression = tensor.Dtype(9)
+	ctrl, err := controller.New(controller.AllReady, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewLocalNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	if _, err := RunBSPWorker(net.Endpoints()[0], ctrl, cfg); err == nil {
+		t.Fatal("unknown compression dtype accepted")
+	}
+}

@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomWide fills a vector with values spanning many decades, including
+// exact zeros, to exercise every quantizer branch.
+func randomWide(rng *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := range v {
+		switch rng.Intn(10) {
+		case 0:
+			v[i] = 0
+		default:
+			v[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+		}
+	}
+	return v
+}
+
+func packUnpack(d Dtype, v Vector) Vector {
+	wire := make([]byte, d.WireBytes(len(v)))
+	Pack(d, wire, v)
+	out := New(len(v))
+	Unpack(d, out, wire)
+	return out
+}
+
+// TestRoundTripMatchesPackUnpack pins the contract the in-memory mesh and
+// the collectives rely on: RoundTrip is bit-for-bit the same transform as
+// Unpack∘Pack.
+func TestRoundTripMatchesPackUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []Dtype{F32, F16, I8} {
+		for _, n := range []int{0, 1, 3, 7, 100, I8BlockElems - 1, I8BlockElems, I8BlockElems + 5, 3000} {
+			v := randomWide(rng, n)
+			want := packUnpack(d, v)
+			got := v.Clone()
+			RoundTrip(d, got)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v n=%d elem %d: RoundTrip %v != Unpack(Pack) %v (in %v)",
+						d, n, i, got[i], want[i], v[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripIdempotent: re-encoding an already-decoded vector must be
+// exact — the property every compressed collective's forwarding hops rest
+// on. Checked both via RoundTrip and via a second Pack producing identical
+// wire bytes.
+func TestRoundTripIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []Dtype{F32, F16, I8} {
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(3 * I8BlockElems)
+			v := randomWide(rng, n)
+			RoundTrip(d, v)
+			wire1 := make([]byte, d.WireBytes(n))
+			Pack(d, wire1, v)
+			again := v.Clone()
+			RoundTrip(d, again)
+			for i := range v {
+				if math.Float64bits(again[i]) != math.Float64bits(v[i]) {
+					t.Fatalf("%v trial %d elem %d: second RoundTrip moved %v -> %v",
+						d, trial, i, v[i], again[i])
+				}
+			}
+			wire2 := make([]byte, d.WireBytes(n))
+			Pack(d, wire2, again)
+			for i := range wire1 {
+				if wire1[i] != wire2[i] {
+					t.Fatalf("%v trial %d: wire byte %d differs on re-encode", d, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestI8ScalePowerOfTwo: every block scale is 0 or an exact power of two,
+// and quantization error is bounded by scale/2 per element.
+func TestI8ScalePowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(2*I8BlockElems)
+		v := randomWide(rng, n)
+		wire := make([]byte, I8.WireBytes(n))
+		Pack(I8, wire, v)
+		out := New(n)
+		Unpack(I8, out, wire)
+		off := 0
+		for lo := 0; lo < n; lo += I8BlockElems {
+			hi := lo + I8BlockElems
+			if hi > n {
+				hi = n
+			}
+			scale := math.Float64frombits(getU64(wire[off:]))
+			off += 8 + (hi - lo)
+			if scale != 0 {
+				if f, _ := math.Frexp(scale); f != 0.5 {
+					t.Fatalf("trial %d block %d: scale %v not a power of two", trial, lo, scale)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if err := math.Abs(out[i] - v[i]); err > scale/2+1e-300 {
+					t.Fatalf("trial %d elem %d: error %v exceeds scale/2 = %v", trial, i, err, scale/2)
+				}
+			}
+		}
+	}
+}
+
+// TestF16MatchesReference compares the bit-level converter against the
+// strconv-free reference built from math.Ldexp over every exponent regime:
+// normals, subnormals, overflow, underflow, and exact ties.
+func TestF16MatchesReference(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},             // largest finite half
+		{65520, 0x7c00},             // tie at the overflow boundary → even → Inf
+		{65518, 0x7bff},             // below the tie → max finite
+		{math.Inf(1), 0x7c00},
+		{math.Inf(-1), 0xfc00},
+		{math.Ldexp(1, -14), 0x0400}, // smallest normal
+		{math.Ldexp(1, -24), 0x0001}, // smallest subnormal
+		{math.Ldexp(1, -25), 0x0000}, // ties to even → zero
+		{math.Ldexp(3, -25), 0x0002}, // ties to even → up
+		{math.Ldexp(1, -26), 0x0000}, // below tie → zero
+		{1 + 1.0/2048, 0x3c00},       // tie at mantissa lsb → even
+		{1 + 3.0/2048, 0x3c02},       // tie → up to even
+	}
+	for _, tc := range cases {
+		if got := f16FromF32(float32(tc.in)); got != tc.want {
+			t.Errorf("f16FromF32(%v) = %#04x, want %#04x", tc.in, got, tc.want)
+		}
+	}
+	if got := f16FromF32(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("NaN did not convert to a half NaN: %#04x", got)
+	}
+	// Exhaustive widen/narrow round trip over every half bit pattern.
+	for h := 0; h < 1<<16; h++ {
+		f := f16ToF32(uint16(h))
+		back := f16FromF32(f)
+		want := uint16(h)
+		if f != f && want&0x7c00 == 0x7c00 && want&0x3ff != 0 {
+			want = want&0x8000 | 0x7e00 // all NaNs collapse to the canonical one
+		}
+		if back != want {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, f, back)
+		}
+	}
+}
+
+// TestDtypeWireBytes pins the wire-size accounting the transport codec and
+// cost model share.
+func TestDtypeWireBytes(t *testing.T) {
+	cases := []struct {
+		d    Dtype
+		n    int
+		want int
+	}{
+		{F64, 10, 80},
+		{F32, 10, 40},
+		{F16, 10, 20},
+		{I8, 0, 0},
+		{I8, 1, 9},
+		{I8, I8BlockElems, I8BlockElems + 8},
+		{I8, I8BlockElems + 1, I8BlockElems + 17},
+		{I8, 3 * I8BlockElems, 3 * (I8BlockElems + 8)},
+	}
+	for _, tc := range cases {
+		if got := tc.d.WireBytes(tc.n); got != tc.want {
+			t.Errorf("%v.WireBytes(%d) = %d, want %d", tc.d, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestParseDtype round-trips String and accepts the common aliases.
+func TestParseDtype(t *testing.T) {
+	for _, d := range []Dtype{F64, F32, F16, I8} {
+		got, err := ParseDtype(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDtype(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDtype("bf16"); err == nil {
+		t.Error("ParseDtype accepted unknown dtype")
+	}
+	if !F64.Valid() || !I8.Valid() || Dtype(200).Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+// TestRoundTripEF: the residual accumulates exactly pre−post so that
+// (post + residual-delta) reconstructs the input — the error-feedback
+// invariant.
+func TestRoundTripEF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []Dtype{F32, F16, I8} {
+		v := randomWide(rng, 2500)
+		orig := v.Clone()
+		res := New(2500)
+		res.Fill(0.25) // pre-existing residual must be preserved, not clobbered
+		RoundTripEF(d, v, res)
+		for i := range v {
+			if got := res[i] - 0.25; math.Abs(got-(orig[i]-v[i])) > 1e-15*math.Max(1, math.Abs(orig[i])) {
+				t.Fatalf("%v elem %d: residual delta %v, want %v", d, i, got, orig[i]-v[i])
+			}
+		}
+	}
+	// F64 must be a strict no-op on both vector and residual.
+	v := randomWide(rng, 64)
+	orig := v.Clone()
+	res := New(64)
+	RoundTripEF(F64, v, res)
+	for i := range v {
+		if v[i] != orig[i] || res[i] != 0 {
+			t.Fatal("F64 RoundTripEF not a no-op")
+		}
+	}
+}
+
+// TestPackZeroAlloc: the kernels must not allocate when given caller-owned
+// buffers — they run on the TCP hot path.
+func TestPackZeroAlloc(t *testing.T) {
+	v := randomWide(rand.New(rand.NewSource(11)), 4096)
+	res := New(4096)
+	for _, d := range []Dtype{F32, F16, I8} {
+		d := d
+		wire := make([]byte, d.WireBytes(len(v)))
+		out := New(len(v))
+		if n := testing.AllocsPerRun(20, func() { Pack(d, wire, v) }); n != 0 {
+			t.Errorf("Pack %v allocates %v/op", d, n)
+		}
+		if n := testing.AllocsPerRun(20, func() { Unpack(d, out, wire) }); n != 0 {
+			t.Errorf("Unpack %v allocates %v/op", d, n)
+		}
+		if n := testing.AllocsPerRun(20, func() { RoundTripEF(d, v, res) }); n != 0 {
+			t.Errorf("RoundTripEF %v allocates %v/op", d, n)
+		}
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	v := randomWide(rand.New(rand.NewSource(13)), 1<<18)
+	for _, d := range []Dtype{F32, F16, I8} {
+		d := d
+		wire := make([]byte, d.WireBytes(len(v)))
+		b.Run(d.String(), func(b *testing.B) {
+			b.SetBytes(int64(8 * len(v)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Pack(d, wire, v)
+			}
+		})
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	v := randomWide(rand.New(rand.NewSource(17)), 1<<18)
+	for _, d := range []Dtype{F32, F16, I8} {
+		d := d
+		wire := make([]byte, d.WireBytes(len(v)))
+		Pack(d, wire, v)
+		out := New(len(v))
+		b.Run(d.String(), func(b *testing.B) {
+			b.SetBytes(int64(8 * len(v)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Unpack(d, out, wire)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package trainsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// quadConfig builds a noisy-quadratic run — a model with a known optimum,
+// so loss gaps directly measure statistical damage from the wire dtype.
+func quadConfig(t *testing.T, strategy Strategy, wire tensor.Dtype) Config {
+	t.Helper()
+	cfg := testConfig(t, strategy, 4, 120)
+	q, err := model.NewQuadratic(rng.New(5), 20, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Model = q
+	cfg.EvalSet = nil
+	cfg.LR = 0.01
+	cfg.Momentum = 0
+	cfg.Compression = wire
+	return cfg
+}
+
+// TestCompressedConvergenceMatchesF64 is the statistical guard for the
+// compressed wire: int8 (the harshest dtype) with error feedback must land
+// within a fixed tolerance of the fp64 baseline's final loss, for both RNA
+// and the BSP baseline, on Quadratic and on the logistic blobs task. Without
+// error feedback int8 quantization at these gradient scales visibly stalls;
+// the residual carry is what makes the narrow wire statistically free.
+func TestCompressedConvergenceMatchesF64(t *testing.T) {
+	for _, strategy := range []Strategy{RNA, Horovod} {
+		// Quadratic: compare final losses directly.
+		base, err := Run(quadConfig(t, strategy, tensor.F64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wire := range []tensor.Dtype{tensor.F16, tensor.I8} {
+			got, err := Run(quadConfig(t, strategy, wire))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The quadratic's noise floor dominates both runs; the
+			// compressed trajectory must stay within 10% relative (plus a
+			// small absolute slack) of the exact-wire loss.
+			tol := 0.10*math.Abs(base.FinalLoss) + 1e-3
+			if math.Abs(got.FinalLoss-base.FinalLoss) > tol {
+				t.Errorf("%v %v: final loss %v, fp64 baseline %v (tol %v)",
+					strategy, wire, got.FinalLoss, base.FinalLoss, tol)
+			}
+		}
+
+		// Logistic blobs: the classification task must not lose accuracy
+		// to the harshest wire either.
+		blobBase, err := Run(testConfig(t, strategy, 4, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobCfg := testConfig(t, strategy, 4, 60)
+		blobCfg.Compression = tensor.I8
+		blobGot, err := Run(blobCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tol := 0.10*blobBase.FinalLoss + 0.02; math.Abs(blobGot.FinalLoss-blobBase.FinalLoss) > tol {
+			t.Errorf("%v blobs i8: final loss %v, fp64 baseline %v (tol %v)",
+				strategy, blobGot.FinalLoss, blobBase.FinalLoss, tol)
+		}
+	}
+}
+
+// TestCompressedRunFasterOnSlowFabric: the whole point of the narrow wire —
+// on a bandwidth-bound fabric the compressed run's virtual clock must finish
+// earlier than the fp64 run's for the same iteration count.
+func TestCompressedRunFasterOnSlowFabric(t *testing.T) {
+	build := func(wire tensor.Dtype) Config {
+		cfg := quadConfig(t, Horovod, wire)
+		cfg.Comm = workload.TenGbEComm()
+		return cfg
+	}
+	base, err := Run(build(tensor.F64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Run(build(tensor.I8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.VirtualTime >= base.VirtualTime {
+		t.Errorf("i8 run took %v, fp64 took %v — compression saved no virtual time", comp.VirtualTime, base.VirtualTime)
+	}
+}
+
+// TestConfigRejectsUnknownDtype: validation runs before any simulation.
+func TestConfigRejectsUnknownDtype(t *testing.T) {
+	cfg := quadConfig(t, Horovod, tensor.F64)
+	cfg.Compression = tensor.Dtype(7)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown compression dtype accepted")
+	}
+}

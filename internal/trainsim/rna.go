@@ -103,6 +103,10 @@ type partialSim struct {
 	// time before the new parameters become visible.
 	postSync func(params tensor.Vector, syncEnd time.Duration) time.Duration
 
+	// residual carries the error-feedback state across rounds under a
+	// lossy wire dtype (nil for fp64).
+	residual tensor.Vector
+
 	// accounting
 	breakdowns   []stats.Breakdown
 	nulls        int64
@@ -123,6 +127,7 @@ func newPartialSim(cfg *Config, policy controller.Policy, ids []int, seedSalt in
 		probeSrc:   root.Split(0),
 		payCopy:    policy == controller.PowerOfChoices || policy == controller.RandomInitiator,
 		eager:      policy == controller.Majority || policy == controller.Solo,
+		residual:   cfg.residual(dim),
 		breakdowns: make([]stats.Breakdown, len(ids)),
 	}
 	cfg.Model.Init(rng.New(cfg.Seed+7777), s.params)
@@ -504,6 +509,16 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 	}
 
 	if contributors > 0 {
+		// Compressed wire: the collective quantizes the summed gradient
+		// (the reduction itself runs fp64 — see internal/collective), and
+		// error feedback folds the previous round's quantization residual
+		// back into the sum before it is re-quantized, so the error is
+		// corrected rather than compounded.
+		if s.residual != nil {
+			_ = sum.Add(s.residual)
+			s.residual.Zero()
+			tensor.RoundTripEF(s.cfg.Compression, sum, s.residual)
+		}
 		sum.Scale(1 / float64(contributors))
 		scale, err := opt.LinearScale(contributors, s.n)
 		if err != nil {

@@ -101,6 +101,14 @@ type Config struct {
 	// engine in internal/collective. Hierarchical groups inherit it for
 	// their intra-group collectives.
 	Collective workload.AllReduceAlgo
+	// Compression is the gradient wire dtype (tensor.F64, the zero
+	// value, disables it). Lossy dtypes do two things: the priced
+	// AllReduce cost shrinks to the compressed wire volume, and the
+	// engines quantize the reduced gradient each round with
+	// error-feedback — the residual is carried to the next round — so
+	// the loss curves reflect the statistical cost of the narrower wire,
+	// not just its speed.
+	Compression tensor.Dtype
 	// SpeedFactors optionally scales each worker's compute time
 	// multiplicatively (deterministic hardware heterogeneity: the
 	// paper's Table 2 testbed mixes K80, 1080Ti and 2080Ti GPUs).
@@ -175,7 +183,19 @@ func (c *Config) validate() error {
 	if c.MaxIterations < 1 && c.MaxTime <= 0 {
 		return fmt.Errorf("trainsim: no termination condition")
 	}
+	if !c.Compression.Valid() {
+		return fmt.Errorf("trainsim: unknown compression dtype %d", c.Compression)
+	}
 	return nil
+}
+
+// residual allocates the error-feedback carry for lossy wires; nil when
+// the wire is exact fp64.
+func (c *Config) residual(dim int) tensor.Vector {
+	if c.Compression == tensor.F64 {
+		return nil
+	}
+	return tensor.New(dim)
 }
 
 func (c *Config) probes() int {
@@ -207,9 +227,14 @@ func (c *Config) evalEvery() int {
 }
 
 // allReduceCost prices one synchronization's collective for n ranks under
-// the configured schedule.
+// the configured schedule and wire dtype. The byte count is the fp64
+// payload size; compressed wires are priced per element so the dtype's
+// actual wire bytes (including I8's per-block scales) are charged.
 func (c *Config) allReduceCost(n int, bytes int64) time.Duration {
-	return c.Comm.AllReduce(c.Collective, n, bytes)
+	if c.Compression == tensor.F64 {
+		return c.Comm.AllReduce(c.Collective, n, bytes)
+	}
+	return c.Comm.AllReduceWire(c.Collective, n, int(bytes/8), c.Compression)
 }
 
 func (c *Config) injector() hetero.Injector {

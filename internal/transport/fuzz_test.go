@@ -2,18 +2,30 @@ package transport
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 // FuzzReadMessage feeds arbitrary bytes to the wire decoder: it must never
 // panic and never allocate unboundedly, only return messages or errors.
 func FuzzReadMessage(f *testing.F) {
-	// Seed with valid encodings and near-valid corruptions.
-	for _, m := range []Message{
+	// Seed with valid encodings across every dtype and near-valid
+	// corruptions.
+	seeds := []Message{
 		{Type: MsgChunk, Iter: 1, Chunk: 2, Payload: []float64{1, 2, 3}},
 		{Type: MsgBroadcast},
 		{Type: MsgControl, Iter: -9, Payload: []float64{0.5}},
-	} {
+	}
+	for _, d := range []tensor.Dtype{tensor.F32, tensor.F16, tensor.I8} {
+		seeds = append(seeds, Message{
+			Type: MsgChunk, Iter: 3, Chunk: 1, Dtype: d,
+			Payload: []float64{-1.5, 0, 3.25e-3, 7e4, math.Pi},
+		})
+	}
+	for _, m := range seeds {
 		buf, err := Encode(nil, m)
 		if err != nil {
 			f.Fatal(err)
@@ -31,7 +43,11 @@ func FuzzReadMessage(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A successful decode must round-trip.
+		// A successful decode must round-trip. For a lossy dtype the
+		// fuzzer may have forged a scale our encoder would never emit, so
+		// ONE re-encode may move the values — but the re-encoded message
+		// decodes onto our own quantization grid, which must then be a
+		// fixed point (idempotence).
 		out, err := Encode(nil, msg)
 		if err != nil {
 			t.Fatalf("re-encode of decoded message failed: %v", err)
@@ -41,8 +57,68 @@ func FuzzReadMessage(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if back.Type != msg.Type || back.Iter != msg.Iter || back.Chunk != msg.Chunk ||
-			len(back.Payload) != len(msg.Payload) {
+			back.Dtype != msg.Dtype || len(back.Payload) != len(msg.Payload) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", back, msg)
 		}
+		out2, err := Encode(nil, back)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("dtype %v encoding not idempotent", msg.Dtype)
+		}
 	})
+}
+
+// TestReadMessageUnknownDtype: a frame advertising a dtype the decoder does
+// not know must fail with ErrUnknownDtype before any payload read, and the
+// encoder must refuse to produce such a frame in the first place.
+func TestReadMessageUnknownDtype(t *testing.T) {
+	buf, err := Encode(nil, Message{Type: MsgChunk, Payload: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 0x7E // dtype byte
+	if _, err := ReadMessage(bytes.NewReader(buf)); !errors.Is(err, ErrUnknownDtype) {
+		t.Errorf("forged dtype error = %v, want ErrUnknownDtype", err)
+	}
+	if _, err := Encode(nil, Message{Type: MsgChunk, Dtype: tensor.Dtype(9)}); !errors.Is(err, ErrUnknownDtype) {
+		t.Errorf("encode with bad dtype error = %v, want ErrUnknownDtype", err)
+	}
+}
+
+// TestReadMessageTruncatedQuantized: quantized frames cut anywhere in the
+// payload (including mid-scale for I8) must error, not hang or panic; the
+// intact frame must decode to exactly the values the sender-side RoundTrip
+// predicts.
+func TestReadMessageTruncatedQuantized(t *testing.T) {
+	payload := make([]float64, tensor.I8BlockElems+37)
+	for i := range payload {
+		payload[i] = (float64(i%255) - 127) * 1.7e-3
+	}
+	for _, d := range []tensor.Dtype{tensor.F32, tensor.F16, tensor.I8} {
+		buf, err := Encode(nil, Message{Type: MsgChunk, Dtype: d, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := headerBytes + d.WireBytes(len(payload)); len(buf) != want {
+			t.Fatalf("dtype %v frame is %d bytes, want %d", d, len(buf), want)
+		}
+		for _, cut := range []int{headerBytes, headerBytes + 1, headerBytes + 9, len(buf) - 1} {
+			if _, err := ReadMessage(bytes.NewReader(buf[:cut])); err == nil {
+				t.Errorf("dtype %v truncated at %d decoded without error", d, cut)
+			}
+		}
+		msg, err := ReadMessage(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), payload...)
+		tensor.RoundTrip(d, want)
+		for i := range want {
+			if math.Float64bits(msg.Payload[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("dtype %v elem %d: wire %v, RoundTrip %v", d, i, msg.Payload[i], want[i])
+			}
+		}
+	}
 }

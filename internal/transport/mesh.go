@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/tensor"
 )
 
 // ErrClosed is returned by operations on a closed mesh endpoint.
@@ -200,6 +202,11 @@ func (m *localMesh) Send(to int, msg Message) error {
 		p := GetPayload(len(msg.Payload))
 		copy(p, msg.Payload)
 		msg.Payload = p
+		// A lossy wire dtype quantizes on the real wire; replay the exact
+		// quantize→dequantize round trip on the copy so in-memory results
+		// are bit-identical to the TCP path. RoundTrip is pinned (by test)
+		// to equal Unpack∘Pack.
+		tensor.RoundTrip(msg.Dtype, p)
 	}
 	return m.net.endpoints[to].inbox[m.rank].push(msg)
 }
@@ -222,6 +229,10 @@ func (m *localMesh) SendOwned(to int, msg Message) error {
 	}
 	msg.From = int32(m.rank)
 	msg.To = int32(to)
+	// The buffer is ours now — quantize in place to mirror the wire (see
+	// Send). Forwarded buffers already hold dequantized grid values, for
+	// which the round trip is an exact no-op by idempotence.
+	tensor.RoundTrip(msg.Dtype, msg.Payload)
 	if err := m.net.endpoints[to].inbox[m.rank].push(msg); err != nil {
 		PutPayload(msg.Payload)
 		return err

@@ -12,6 +12,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"repro/internal/tensor"
 )
 
 // MsgType distinguishes the wire messages of the collective protocols.
@@ -43,11 +45,18 @@ type Message struct {
 	Iter int64
 	// Chunk is the ring chunk index for MsgChunk traffic.
 	Chunk int32
-	// Payload carries tensor data.
+	// Dtype is the payload's wire encoding. The zero value (tensor.F64)
+	// ships raw float64 bits; lossy dtypes quantize the payload on encode
+	// and the receiver observes the dequantized values. The in-memory mesh
+	// simulates the same quantize→dequantize round trip so in-process and
+	// TCP results are bit-identical.
+	Dtype tensor.Dtype
+	// Payload carries tensor data (always float64 in memory; Dtype only
+	// governs the wire representation).
 	Payload []float64
 }
 
-const headerBytes = 1 + 4 + 4 + 8 + 4 + 4 // type, from, to, iter, chunk, payload len
+const headerBytes = 1 + 1 + 4 + 4 + 8 + 4 + 4 // type, dtype, from, to, iter, chunk, payload len
 
 // MaxPayloadElems bounds a single message's payload to guard decoders
 // against corrupt or hostile length prefixes (128 MiB of float64s).
@@ -57,14 +66,22 @@ const MaxPayloadElems = 16 << 20
 // payload exceeds MaxPayloadElems.
 var ErrPayloadTooLarge = errors.New("transport: payload too large")
 
+// ErrUnknownDtype is returned when encoding or decoding a message whose
+// dtype byte is not a known wire encoding.
+var ErrUnknownDtype = errors.New("transport: unknown payload dtype")
+
 // Encode appends the wire form of m to buf and returns the extended slice.
-// The format is little-endian: type(1) from(4) to(4) iter(8) chunk(4)
-// len(4) payload(len*8).
+// The format is little-endian: type(1) dtype(1) from(4) to(4) iter(8)
+// chunk(4) len(4) payload(Dtype.WireBytes(len) bytes). len counts ELEMENTS;
+// the byte size of the payload follows from the dtype.
 func Encode(buf []byte, m Message) ([]byte, error) {
 	if len(m.Payload) > MaxPayloadElems {
 		return nil, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, len(m.Payload))
 	}
-	need := headerBytes + 8*len(m.Payload)
+	if !m.Dtype.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDtype, m.Dtype)
+	}
+	need := headerBytes + m.Dtype.WireBytes(len(m.Payload))
 	off := len(buf)
 	if cap(buf)-off < need {
 		grown := make([]byte, off, off+need)
@@ -74,14 +91,19 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	buf = buf[:off+need]
 	b := buf[off:]
 	b[0] = byte(m.Type)
-	binary.LittleEndian.PutUint32(b[1:], uint32(m.From))
-	binary.LittleEndian.PutUint32(b[5:], uint32(m.To))
-	binary.LittleEndian.PutUint64(b[9:], uint64(m.Iter))
-	binary.LittleEndian.PutUint32(b[17:], uint32(m.Chunk))
-	binary.LittleEndian.PutUint32(b[21:], uint32(len(m.Payload)))
-	p := b[25:]
-	for i, f := range m.Payload {
-		binary.LittleEndian.PutUint64(p[i*8:], math.Float64bits(f))
+	b[1] = byte(m.Dtype)
+	binary.LittleEndian.PutUint32(b[2:], uint32(m.From))
+	binary.LittleEndian.PutUint32(b[6:], uint32(m.To))
+	binary.LittleEndian.PutUint64(b[10:], uint64(m.Iter))
+	binary.LittleEndian.PutUint32(b[18:], uint32(m.Chunk))
+	binary.LittleEndian.PutUint32(b[22:], uint32(len(m.Payload)))
+	p := b[headerBytes:]
+	if m.Dtype == tensor.F64 {
+		for i, f := range m.Payload {
+			binary.LittleEndian.PutUint64(p[i*8:], math.Float64bits(f))
+		}
+	} else if len(m.Payload) > 0 {
+		tensor.Pack(m.Dtype, p, m.Payload)
 	}
 	return buf, nil
 }
@@ -118,22 +140,27 @@ func ReadMessage(r io.Reader) (Message, error) {
 	}
 	m := Message{
 		Type:  MsgType(hdr[0]),
-		From:  int32(binary.LittleEndian.Uint32(hdr[1:])),
-		To:    int32(binary.LittleEndian.Uint32(hdr[5:])),
-		Iter:  int64(binary.LittleEndian.Uint64(hdr[9:])),
-		Chunk: int32(binary.LittleEndian.Uint32(hdr[17:])),
+		Dtype: tensor.Dtype(hdr[1]),
+		From:  int32(binary.LittleEndian.Uint32(hdr[2:])),
+		To:    int32(binary.LittleEndian.Uint32(hdr[6:])),
+		Iter:  int64(binary.LittleEndian.Uint64(hdr[10:])),
+		Chunk: int32(binary.LittleEndian.Uint32(hdr[18:])),
 	}
-	n := binary.LittleEndian.Uint32(hdr[21:])
+	if !m.Dtype.Valid() {
+		return Message{}, fmt.Errorf("%w: %d", ErrUnknownDtype, hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[22:])
 	if n > MaxPayloadElems {
 		return Message{}, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
 	}
 	if n > 0 {
+		wire := m.Dtype.WireBytes(int(n))
 		bp := readBufs.Get().(*[]byte)
 		raw := *bp
-		if cap(raw) < int(8*n) {
-			raw = make([]byte, 8*n)
+		if cap(raw) < wire {
+			raw = make([]byte, wire)
 		}
-		raw = raw[:8*n]
+		raw = raw[:wire]
 		if _, err := io.ReadFull(r, raw); err != nil {
 			*bp = raw[:0]
 			readBufs.Put(bp)
@@ -142,8 +169,12 @@ func ReadMessage(r io.Reader) (Message, error) {
 		// The decoded payload comes from the shared pool; the receiver
 		// owns it and may release it with PutPayload once consumed.
 		m.Payload = GetPayload(int(n))
-		for i := range m.Payload {
-			m.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		if m.Dtype == tensor.F64 {
+			for i := range m.Payload {
+				m.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+		} else {
+			tensor.Unpack(m.Dtype, m.Payload, raw)
 		}
 		*bp = raw[:0]
 		readBufs.Put(bp)

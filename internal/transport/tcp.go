@@ -9,10 +9,27 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // dialTimeout bounds connection establishment to a peer.
 const dialTimeout = 10 * time.Second
+
+// tuneConn applies the mesh's socket options to a freshly established peer
+// connection: TCP_NODELAY so small control messages (handshakes, initiator
+// signals, scatter tails) don't sit out a Nagle delay behind unacked bulk
+// data, and a keep-alive probe so a silently dead peer eventually fails the
+// connection instead of wedging a Recv forever.
+func tuneConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	_ = tc.SetNoDelay(true)
+	_ = tc.SetKeepAlive(true)
+	_ = tc.SetKeepAlivePeriod(30 * time.Second)
+}
 
 // TCPMesh is a Mesh over real TCP connections: one full-duplex connection
 // per peer pair, pairwise established with a rank handshake. It supports
@@ -28,6 +45,12 @@ type TCPMesh struct {
 	sendMu []sync.Mutex
 	// inbox[j] receives messages read off the wire from rank j.
 	inbox []*chanQueue
+
+	// linkRate, when positive, paces outbound traffic to emulate a link of
+	// that many bytes/second (see SetLinkRate). nextFree[j] is the emulated
+	// transmit horizon of conns[j], guarded by sendMu[j].
+	linkRate float64
+	nextFree []time.Time
 
 	readers sync.WaitGroup
 
@@ -50,11 +73,12 @@ func DialMesh(rank int, addrs []string, ln net.Listener) (*TCPMesh, error) {
 		return nil, fmt.Errorf("transport: rank %d of %d", rank, size)
 	}
 	m := &TCPMesh{
-		rank:   rank,
-		size:   size,
-		conns:  make([]net.Conn, size),
-		sendMu: make([]sync.Mutex, size),
-		inbox:  make([]*chanQueue, size),
+		rank:     rank,
+		size:     size,
+		conns:    make([]net.Conn, size),
+		sendMu:   make([]sync.Mutex, size),
+		inbox:    make([]*chanQueue, size),
+		nextFree: make([]time.Time, size),
 	}
 	for j := range m.inbox {
 		m.inbox[j] = newChanQueue()
@@ -78,6 +102,7 @@ func DialMesh(rank int, addrs []string, ln net.Listener) (*TCPMesh, error) {
 				fail(fmt.Errorf("dial rank %d at %s: %w", j, addrs[j], err))
 				return
 			}
+			tuneConn(conn)
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
 			if _, err := conn.Write(hello[:]); err != nil {
@@ -98,6 +123,7 @@ func DialMesh(rank int, addrs []string, ln net.Listener) (*TCPMesh, error) {
 				fail(fmt.Errorf("accept: %w", err))
 				return
 			}
+			tuneConn(conn)
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
 				_ = conn.Close()
@@ -172,11 +198,13 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	msg.From = int32(m.rank)
 	msg.To = int32(to)
 	if to == m.rank {
-		// Mirror the wire path's copy semantics for loopback delivery.
+		// Mirror the wire path's copy AND quantization semantics for
+		// loopback delivery.
 		if msg.Payload != nil {
 			p := GetPayload(len(msg.Payload))
 			copy(p, msg.Payload)
 			msg.Payload = p
+			tensor.RoundTrip(msg.Dtype, p)
 		}
 		return m.inbox[m.rank].push(msg)
 	}
@@ -194,12 +222,41 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 		encodeBufs.Put(bp)
 		return err
 	}
+	var sleep time.Duration
 	m.sendMu[to].Lock()
 	_, err = conn.Write(buf)
+	if err == nil && m.linkRate > 0 {
+		// Store-and-forward pacing: advance the connection's transmit
+		// horizon by this message's serialization time and sleep until the
+		// horizon, so outbound wire bytes flow at the emulated link rate.
+		// The horizon is cumulative — back-to-back senders queue behind each
+		// other exactly as frames on a shared link would.
+		now := time.Now()
+		if m.nextFree[to].Before(now) {
+			m.nextFree[to] = now
+		}
+		m.nextFree[to] = m.nextFree[to].Add(time.Duration(float64(len(buf)) / m.linkRate * 1e9))
+		sleep = m.nextFree[to].Sub(now)
+	}
 	m.sendMu[to].Unlock()
 	*bp = buf[:0]
 	encodeBufs.Put(bp)
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
 	return err
+}
+
+// SetLinkRate makes every subsequent outbound message pace itself so the
+// connection's wire bytes flow at no more than bytesPerSec — an emulated
+// link bandwidth. It exists for benchmarking and for emulating heterogeneous
+// fabrics on fast loopback hardware: real loopback is CPU-bound, so without
+// a rate cap the wire-byte savings of compressed payloads are invisible.
+// A rate of 0 (the default) disables pacing. Pacing is applied per
+// connection on the sender side only; call it on every rank of a mesh
+// before traffic starts (it is not synchronized with in-flight sends).
+func (m *TCPMesh) SetLinkRate(bytesPerSec float64) {
+	m.linkRate = bytesPerSec
 }
 
 // SendOwned implements OwnedSender. On the wire path the payload is fully
@@ -217,6 +274,7 @@ func (m *TCPMesh) SendOwned(to int, msg Message) error {
 		}
 		msg.From = int32(m.rank)
 		msg.To = int32(to)
+		tensor.RoundTrip(msg.Dtype, msg.Payload)
 		if err := m.inbox[m.rank].push(msg); err != nil {
 			PutPayload(msg.Payload)
 			return err

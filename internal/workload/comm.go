@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // CommModel prices communication operations in virtual time. It follows the
@@ -163,6 +165,107 @@ func (c CommModel) AllReduce(algo AllReduceAlgo, n int, bytes int64) time.Durati
 		return best
 	default:
 		return c.RingAllReduce(n, bytes)
+	}
+}
+
+// bytesCost prices the bandwidth term of a transfer without the per-message
+// latency — wire-aware schedules need the two split because compressed
+// phases can carry a different message count than byte volume implies.
+func (c CommModel) bytesCost(bytes int64) time.Duration {
+	if c.Bandwidth <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / c.Bandwidth * float64(time.Second))
+}
+
+// RingAllReduceWire prices the ring with a compressed distribution phase:
+// the (N−1) reduce-scatter steps ship fp64 partial sums, the (N−1) allgather
+// steps ship the wire dtype. Mirrors collective.ringShapeWire.
+func (c CommModel) RingAllReduceWire(n int, elems int, wire tensor.Dtype) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	chunk := elems / n
+	steps := time.Duration(n - 1)
+	return steps*c.transfer(8*int64(chunk)) + steps*c.transfer(int64(wire.WireBytes(chunk)))
+}
+
+// HalvingDoublingAllReduceWire prices halving-doubling with a compressed
+// doubling phase. Halving windows carry fp64 partial sums; the doubling
+// window at level ℓ (size elems·2^ℓ/p) ships the wire dtype — as one message
+// for per-element dtypes, as 2^ℓ block-aligned sub-messages for I8 (see
+// collective.forEachSubWindow). Fold-in/out for non-power-of-two n stays
+// fp64 full-size.
+func (c CommModel) HalvingDoublingAllReduceWire(n int, elems int, wire tensor.Dtype) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	p := 1
+	for p<<1 <= n {
+		p <<= 1
+	}
+	var d time.Duration
+	if p != n {
+		d += 2 * c.transfer(8*int64(elems))
+	}
+	q := p
+	for half := elems / 2; q > 1; q >>= 1 {
+		d += c.transfer(8 * int64(half)) // halving: fp64
+		half /= 2
+	}
+	subMsgs := 1
+	for w, q := elems/p, p; q > 1; q >>= 1 { // doubling: wire dtype
+		m := 1
+		if !wire.PerElement() {
+			m = subMsgs
+		}
+		d += time.Duration(m)*c.Latency + c.bytesCost(int64(wire.WireBytes(w)))
+		w *= 2
+		subMsgs *= 2
+	}
+	return d
+}
+
+// TreeAllReduceWire prices the binomial tree with a compressed broadcast:
+// the reduce-to-root steps ship fp64 full vectors, the broadcast steps ship
+// the wire dtype.
+func (c CommModel) TreeAllReduceWire(n int, elems int, wire tensor.Dtype) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	steps := 0
+	for span := 1; span < n; span <<= 1 {
+		steps++
+	}
+	return time.Duration(steps)*c.transfer(8*int64(elems)) +
+		time.Duration(steps)*c.transfer(int64(wire.WireBytes(elems)))
+}
+
+// AllReduceWire prices one AllReduce of `elems` fp64 elements whose
+// distribution phase ships the given wire dtype. For tensor.F64 it agrees
+// exactly with AllReduce(algo, n, 8·elems), preserving every existing
+// simulation; AllReduceAuto returns the cheapest schedule under the wire,
+// mirroring collective.SelectAlgorithmWire.
+func (c CommModel) AllReduceWire(algo AllReduceAlgo, n int, elems int, wire tensor.Dtype) time.Duration {
+	if wire == tensor.F64 {
+		return c.AllReduce(algo, n, 8*int64(elems))
+	}
+	switch algo {
+	case AllReduceHalvingDoubling:
+		return c.HalvingDoublingAllReduceWire(n, elems, wire)
+	case AllReduceTree:
+		return c.TreeAllReduceWire(n, elems, wire)
+	case AllReduceAuto:
+		best := c.RingAllReduceWire(n, elems, wire)
+		if t := c.HalvingDoublingAllReduceWire(n, elems, wire); t < best {
+			best = t
+		}
+		if t := c.TreeAllReduceWire(n, elems, wire); t < best {
+			best = t
+		}
+		return best
+	default:
+		return c.RingAllReduceWire(n, elems, wire)
 	}
 }
 
