@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench microbench calibrate collective-bench train-bench check
+.PHONY: all vet build test race bench bench-smoke microbench calibrate collective-bench train-bench check
 
 all: vet build test
 
@@ -22,6 +22,12 @@ check: vet build race
 # bench refreshes both machine-readable benchmark reports
 # (BENCH_collective.json and BENCH_train.json).
 bench: collective-bench train-bench
+
+# bench-smoke runs a tiny end-to-end overlap benchmark (real BSP workers over
+# TCP, multi-bucket reducer pipeline, bit-identity asserted) without writing
+# any JSON — a seconds-long CI check that the benchmark harness still works.
+bench-smoke:
+	$(GO) run ./cmd/rnabench -bench-smoke
 
 # microbench runs the collective, kernel, model and engine micro-benchmarks
 # interactively.

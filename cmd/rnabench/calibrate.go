@@ -40,7 +40,10 @@ func runCalibrate(outPath string, ranks, smallDim, largeDim, rounds int) error {
 
 // loadCalibrationIfPresent installs a persisted calibration into the
 // auto-selector and reports where the model came from. A missing file is not
-// an error — the shipped defaults apply.
+// an error — the shipped defaults apply. A calibration fitted on a
+// differently shaped host (GOMAXPROCS/NumCPU fingerprint mismatch) is
+// rejected with a warning instead of silently driving the selector with a
+// stale fit.
 func loadCalibrationIfPresent(path string) (string, error) {
 	cal, err := collective.LoadCalibration(path)
 	if err != nil {
@@ -48,6 +51,14 @@ func loadCalibrationIfPresent(path string) (string, error) {
 			return "default", nil
 		}
 		return "", err
+	}
+	if !cal.FingerprintMatches() {
+		gmp, ncpu := collective.HostFingerprint()
+		fmt.Fprintf(os.Stderr,
+			"warning: %s was calibrated on GOMAXPROCS=%d NumCPU=%d but this host is GOMAXPROCS=%d NumCPU=%d; "+
+				"using built-in constants (re-run `rnabench -calibrate`)\n",
+			path, cal.GoMaxProcs, cal.NumCPU, gmp, ncpu)
+		return "default (stale calibration rejected)", nil
 	}
 	collective.SetCostModel(cal.Model)
 	return path, nil

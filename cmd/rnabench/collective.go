@@ -111,6 +111,15 @@ type collectiveBenchReport struct {
 	// GateFp16WireSpeedup is the fp16 wire path's effective MB/s over the
 	// fp64 wire path's at the n8/dim262144 point; the bar is >= 1.8.
 	GateFp16WireSpeedup float64 `json:"gate_fp16_wire_speedup"`
+	// Overlap is the comm/compute-overlap sweep: real BSP workers over a
+	// paced TCP cluster, reducer pipeline vs sequential bucket schedule.
+	Overlap []overlapBenchRow `json:"overlap"`
+	// GateOverlapSpeedup is the pipelined schedule's speedup over the
+	// sequential one at the comm-bound mlp-large/500Mbit point; the bar is
+	// >= 1.3. GateOverlapInFlight is the peak concurrently in-flight bucket
+	// collectives there; the bar is >= 2.
+	GateOverlapSpeedup  float64 `json:"gate_overlap_speedup"`
+	GateOverlapInFlight int     `json:"gate_overlap_in_flight"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -530,6 +539,9 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 	if err := runWirePathSweep(&rep); err != nil {
 		return err
 	}
+	if err := runOverlapSweep(&rep); err != nil {
+		return err
+	}
 	for _, cur := range rep.Current {
 		for _, seed := range rep.Seed {
 			if cur.Name == "RingAllReduce" && cur.Name == seed.Name && cur.Ranks == 8 && seed.Ranks == 8 && cur.Dim == seed.Dim {
@@ -559,5 +571,7 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 		rep.GateSmallTensorSpeedup, rep.GateAutoWithinPct)
 	fmt.Fprintf(os.Stderr, "collective bench: fp16 wire speedup %.2fx over fp64 (gate >= 1.8)\n",
 		rep.GateFp16WireSpeedup)
+	fmt.Fprintf(os.Stderr, "collective bench: overlap speedup %.2fx (gate >= 1.3), %d bucket collectives in flight (gate >= 2)\n",
+		rep.GateOverlapSpeedup, rep.GateOverlapInFlight)
 	return nil
 }

@@ -47,6 +47,8 @@ func run(args []string) error {
 
 		trainBench = fs.Bool("train", false, "run the training-engine benchmarks and write BENCH_train.json")
 		trainOut   = fs.String("train-out", "BENCH_train.json", "output path for -train")
+
+		benchSmoke = fs.Bool("bench-smoke", false, "run a tiny end-to-end overlap benchmark (real workers over TCP, bit-identity asserted) without writing any JSON; CI wiring check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +61,9 @@ func run(args []string) error {
 	}
 	if *trainBench {
 		return runTrainBench(*trainOut)
+	}
+	if *benchSmoke {
+		return runBenchSmoke()
 	}
 	if *list {
 		for _, id := range rna.ExperimentIDs() {

@@ -1,0 +1,154 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Non-blocking collectives.
+//
+// Async multiplexes concurrent collectives over one mesh: each call runs on
+// its own tag stream (see transport.StreamDemux), so several bucket
+// reductions can be in flight at once without their messages interleaving.
+// Start launches the collective on a goroutine and returns a Handle; Wait
+// joins it. Everything else — algorithm auto-selection, compression
+// Options, pooled buffers, the ErrTagOverflow guard — is the synchronous
+// engine, reused unchanged on the stream view.
+
+// Async runs collectives concurrently on one mesh. All SPMD ranks of a job
+// must drive their meshes through an Async with the same stream/iter
+// discipline. A stream carries one collective at a time (Start on a busy
+// stream fails); distinct streams are fully independent.
+type Async struct {
+	demux *transport.StreamDemux
+
+	mu    sync.Mutex
+	views map[int32]transport.Mesh
+	busy  map[int32]bool
+
+	inFlight    atomic.Int32
+	maxInFlight atomic.Int32
+}
+
+// NewAsync wraps m for concurrent collectives. The wrapped mesh's receive
+// side belongs to the Async afterwards: raw m.Recv calls must not be mixed
+// with in-flight Starts.
+func NewAsync(m transport.Mesh) *Async {
+	return &Async{
+		demux: transport.NewStreamDemux(m),
+		views: make(map[int32]transport.Mesh),
+		busy:  make(map[int32]bool),
+	}
+}
+
+// Handle is one in-flight collective. Wait blocks until it completes and
+// returns its error; for partial collectives Partial returns the result
+// after a successful Wait.
+type Handle struct {
+	done chan struct{}
+	err  error
+	pr   PartialResult
+}
+
+// Wait joins the collective. It is idempotent: further calls return the
+// same error.
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Partial returns the partial-collective outcome. Valid only after Wait
+// returned nil on a handle from StartPartial; the Sum buffer follows the
+// usual Release contract.
+func (h *Handle) Partial() PartialResult { return h.pr }
+
+// MaxInFlight reports the largest number of collectives this Async has had
+// in flight simultaneously — the observability hook behind the rnabench
+// overlap gate.
+func (a *Async) MaxInFlight() int { return int(a.maxInFlight.Load()) }
+
+// view returns the (cached) mesh view for a stream.
+func (a *Async) view(stream int32) transport.Mesh {
+	v := a.views[stream]
+	if v == nil {
+		v = a.demux.Stream(stream)
+		a.views[stream] = v
+	}
+	return v
+}
+
+// acquire claims a stream for one collective and bumps the in-flight
+// gauges. The iter is validated eagerly: failing at launch beats failing
+// mid-collective, where the peers would hang waiting for messages the
+// overflowing rank can never send.
+func (a *Async) acquire(stream int32, iter int64) (transport.Mesh, error) {
+	if stream < 0 {
+		return nil, fmt.Errorf("collective: negative stream %d", stream)
+	}
+	if iter < 0 || iter >= transport.MaxStreamIter {
+		return nil, fmt.Errorf("%w: iter %d", transport.ErrIterOverflow, iter)
+	}
+	a.mu.Lock()
+	if a.busy[stream] {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("collective: stream %d already has a collective in flight", stream)
+	}
+	a.busy[stream] = true
+	v := a.view(stream)
+	a.mu.Unlock()
+
+	cur := a.inFlight.Add(1)
+	for {
+		m := a.maxInFlight.Load()
+		if cur <= m || a.maxInFlight.CompareAndSwap(m, cur) {
+			break
+		}
+	}
+	return v, nil
+}
+
+func (a *Async) release(stream int32) {
+	a.inFlight.Add(-1)
+	a.mu.Lock()
+	delete(a.busy, stream)
+	a.mu.Unlock()
+}
+
+// Start launches AllReduceOpts(v) on the given stream and returns without
+// waiting. v must stay untouched until Wait returns; iter must fit the
+// stream tag space (negative or ≥ transport.MaxStreamIter fails with
+// transport.ErrIterOverflow).
+func (a *Async) Start(stream int32, iter int64, v tensor.Vector, op ReduceOp, opts Options) (*Handle, error) {
+	m, err := a.acquire(stream, iter)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer a.release(stream)
+		h.err = AllReduceOpts(m, iter, v, op, opts)
+	}()
+	return h, nil
+}
+
+// StartPartial launches PartialAllReduceOpts(v, contributes) on the given
+// stream. After a successful Wait, Partial holds the result (release its
+// Sum when done).
+func (a *Async) StartPartial(stream int32, iter int64, v tensor.Vector, contributes bool, opts Options) (*Handle, error) {
+	m, err := a.acquire(stream, iter)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer a.release(stream)
+		h.pr, h.err = partialAllReduce(m, iter, v, contributes, opts)
+	}()
+	return h, nil
+}

@@ -67,9 +67,17 @@ type PartialResult struct {
 // that are done with Sum should release it — the partial collective runs
 // once per training step on every rank, and releasing makes that steady
 // state allocation-free. After Release the Sum slice must not be touched.
-func (r PartialResult) Release() {
+//
+// Release is idempotent: it nils Sum out, so releasing the same result
+// twice is a no-op rather than a double PutPayload that would hand one
+// buffer out to two future callers and silently corrupt the pool's free
+// list. (Releasing two COPIES of one result is still a double free — keep
+// a single owning PartialResult per collective.)
+func (r *PartialResult) Release() {
 	if r.Sum != nil {
 		transport.PutPayload(r.Sum)
+		r.Sum = nil
+		r.Contributors = 0
 	}
 }
 

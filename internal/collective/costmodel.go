@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -296,6 +297,30 @@ type Calibration struct {
 	LargeDim int `json:"large_dim"`
 	// Rounds is the number of timed collectives averaged per probe.
 	Rounds int `json:"rounds"`
+	// GoMaxProcs and NumCPU fingerprint the host the constants were fitted
+	// on. The α–β fit is dominated by scheduler and memory behavior, so a
+	// calibration file copied to (or left behind on) a differently shaped
+	// host is silently wrong — consumers compare the fingerprint against
+	// HostFingerprint() and fall back to the built-in defaults on mismatch.
+	// Zero values mark legacy files written before fingerprinting.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+}
+
+// HostFingerprint returns this process's calibration fingerprint.
+func HostFingerprint() (gomaxprocs, numCPU int) {
+	return runtime.GOMAXPROCS(0), runtime.NumCPU()
+}
+
+// FingerprintMatches reports whether the calibration was fitted on a host
+// shaped like this one. Legacy calibrations without a fingerprint (zero
+// fields) are accepted.
+func (c Calibration) FingerprintMatches() bool {
+	if c.GoMaxProcs == 0 && c.NumCPU == 0 {
+		return true
+	}
+	gmp, ncpu := HostFingerprint()
+	return c.GoMaxProcs == gmp && c.NumCPU == ncpu
 }
 
 // SaveCalibration writes c as indented JSON to path.
@@ -417,6 +442,7 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 
 	var cal Calibration
 	cal.Ranks, cal.SmallDim, cal.LargeDim, cal.Rounds = ranks, smallDim, largeDim, rounds
+	cal.GoMaxProcs, cal.NumCPU = HostFingerprint()
 	if cal.Model.Ring, err = fit(AlgoRing, ringShape); err != nil {
 		return Calibration{}, err
 	}

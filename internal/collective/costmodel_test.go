@@ -152,6 +152,48 @@ func TestCalibrateSmoke(t *testing.T) {
 	}
 }
 
+// TestCalibrationFingerprint: Calibrate stamps the host fingerprint, the
+// stamp survives the JSON round trip, and FingerprintMatches accepts this
+// host plus legacy (unstamped) files while rejecting foreign shapes.
+func TestCalibrationFingerprint(t *testing.T) {
+	gmp, ncpu := HostFingerprint()
+	if gmp < 1 || ncpu < 1 {
+		t.Fatalf("fingerprint = (%d, %d)", gmp, ncpu)
+	}
+	cal := Calibration{GoMaxProcs: gmp, NumCPU: ncpu}
+	if !cal.FingerprintMatches() {
+		t.Error("own-host fingerprint rejected")
+	}
+	if !(Calibration{}).FingerprintMatches() {
+		t.Error("legacy calibration without fingerprint rejected")
+	}
+	foreign := Calibration{GoMaxProcs: gmp + 3, NumCPU: ncpu}
+	if foreign.FingerprintMatches() {
+		t.Error("foreign fingerprint accepted")
+	}
+	// Round trip through the persisted form.
+	path := filepath.Join(t.TempDir(), "cal.json")
+	stamped := Calibration{
+		Model:      DefaultCostModel(),
+		Ranks:      2,
+		GoMaxProcs: gmp + 1, // deliberately foreign
+		NumCPU:     ncpu,
+	}
+	if err := stamped.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs != gmp+1 || got.NumCPU != ncpu {
+		t.Errorf("fingerprint did not survive round trip: %+v", got)
+	}
+	if got.FingerprintMatches() {
+		t.Error("stale calibration accepted after round trip")
+	}
+}
+
 // TestParseAlgorithm covers the CLI surface of the enum.
 func TestParseAlgorithm(t *testing.T) {
 	cases := map[string]Algorithm{

@@ -21,8 +21,26 @@ const DefaultFusionBytes = 64 << 20
 // its own buffer). All ranks must pass tensors with identical shapes in
 // identical order. Results are written back in place.
 func FusedAllReduce(m transport.Mesh, iter int64, tensors []tensor.Vector, op ReduceOp, fusionBytes int) error {
+	return FusedAllReduceOpts(m, iter, tensors, op, fusionBytes, Options{})
+}
+
+// FusedAllReduceOpts is FusedAllReduce under Options: each fusion group's
+// collective runs with the given algorithm and compression settings.
+// opts.Residual, when non-nil, must have length Σ len(tensors) and is laid
+// out in tensor concatenation order — group gi's error feedback lands in
+// the residual slice covering its tensors, so per-group compression
+// residuals compose exactly like an unfused reduction over the
+// concatenated vector.
+func FusedAllReduceOpts(m transport.Mesh, iter int64, tensors []tensor.Vector, op ReduceOp, fusionBytes int, opts Options) error {
 	if len(tensors) == 0 {
 		return nil
+	}
+	total := 0
+	for _, t := range tensors {
+		total += len(t)
+	}
+	if opts.Residual != nil && len(opts.Residual) != total {
+		return fmt.Errorf("collective: fused residual length %d != total elements %d", len(opts.Residual), total)
 	}
 	if fusionBytes <= 0 {
 		fusionBytes = DefaultFusionBytes
@@ -57,17 +75,22 @@ func FusedAllReduce(m transport.Mesh, iter int64, tensors []tensor.Vector, op Re
 	}
 	buf := tensor.Vector(transport.GetPayload(maxGroup))
 	defer transport.PutPayload(buf)
+	groupLo := 0 // offset of the current group in concatenation order
 	for gi, g := range groups {
 		buf = buf[:0]
 		for _, t := range tensors[g.lo:g.hi] {
 			buf = append(buf, t...)
+		}
+		groupOpts := opts
+		if opts.Residual != nil {
+			groupOpts.Residual = opts.Residual[groupLo : groupLo+len(buf)]
 		}
 		// Distinct iteration tag per fusion group keeps the groups'
 		// messages separable. Each group picks its schedule by its own
 		// fused size: small trailing groups may take the latency-optimal
 		// path while the bulk groups ride the ring.
 		tag := iter*int64(len(groups)+1) + int64(gi)
-		if err := AllReduce(m, tag, buf, op); err != nil {
+		if err := AllReduceOpts(m, tag, buf, op, groupOpts); err != nil {
 			return fmt.Errorf("fusion group %d: %w", gi, err)
 		}
 		off := 0
@@ -75,6 +98,7 @@ func FusedAllReduce(m transport.Mesh, iter int64, tensors []tensor.Vector, op Re
 			copy(t, buf[off:off+len(t)])
 			off += len(t)
 		}
+		groupLo += len(buf)
 	}
 	return nil
 }

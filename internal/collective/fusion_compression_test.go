@@ -1,0 +1,238 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// fusedTestTensors builds a deterministic per-rank tensor set with mixed
+// sizes (several of which share fusion groups at the thresholds the tests
+// use).
+func fusedTestTensors(rank int) []tensor.Vector {
+	sizes := []int{7, 120, 3, 64, 33, 200, 1}
+	out := make([]tensor.Vector, len(sizes))
+	seed := 0
+	for ti, sz := range sizes {
+		v := tensor.New(sz)
+		for i := range v {
+			v[i] = math.Cos(float64(seed+i)*0.7) * float64(rank+1) * 3
+		}
+		seed += sz
+		out[ti] = v
+	}
+	return out
+}
+
+// TestFusedAllReduceCompressed: every lossy wire dtype through the fused
+// path must leave all ranks with bit-identical tensors, equal to an unfused
+// reduction over the concatenated vector with the same grouping-equivalent
+// inputs.
+func TestFusedAllReduceCompressed(t *testing.T) {
+	const n = 4
+	for _, wire := range []tensor.Dtype{tensor.F32, tensor.F16, tensor.I8} {
+		for _, fusionBytes := range []int{8, 512, 1 << 20} {
+			results := make([][]tensor.Vector, n)
+			runSPMD(t, n, func(m transport.Mesh) error {
+				tensors := fusedTestTensors(m.Rank())
+				if err := FusedAllReduceOpts(m, 3, tensors, OpAverage, fusionBytes, Options{
+					Compression: wire,
+				}); err != nil {
+					return err
+				}
+				results[m.Rank()] = tensors
+				return nil
+			})
+			for r := 1; r < n; r++ {
+				for ti := range results[0] {
+					for i := range results[0][ti] {
+						a := math.Float64bits(results[0][ti][i])
+						b := math.Float64bits(results[r][ti][i])
+						if a != b {
+							t.Fatalf("%v fb=%d: rank %d tensor %d elem %d differs from rank 0",
+								wire, fusionBytes, r, ti, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedAllReduceResidualComposition: the fused path with a lossy wire
+// and a concatenated residual must match, bit for bit, the unfused
+// reductions of each fusion group with residual slices — i.e. the group
+// slicing of the residual is exact.
+func TestFusedAllReduceResidualComposition(t *testing.T) {
+	const n = 3
+	const fusionBytes = 512 // 64 elems per group
+	wire := tensor.F16
+
+	// Reference: run the same grouping by hand with per-group collectives.
+	sizes := []int{7, 120, 3, 64, 33, 200, 1}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	refTensors := make([][]tensor.Vector, n)
+	refRes := make([]tensor.Vector, n)
+	runSPMD(t, n, func(m transport.Mesh) error {
+		tensors := fusedTestTensors(m.Rank())
+		res := tensor.New(total)
+		if err := FusedAllReduceOpts(m, 3, tensors, OpAverage, fusionBytes, Options{
+			Compression: wire, Residual: res,
+		}); err != nil {
+			return err
+		}
+		refTensors[m.Rank()] = tensors
+		refRes[m.Rank()] = res
+		return nil
+	})
+
+	// Unfused reference: concatenate each greedy group and reduce it with
+	// the same tag and a residual slice in concatenation order.
+	maxElems := fusionBytes / 8
+	var groups [][2]int // [lo, hi) tensor index ranges
+	lo, elems := 0, 0
+	for i, s := range sizes {
+		if elems > 0 && elems+s > maxElems {
+			groups = append(groups, [2]int{lo, i})
+			lo, elems = i, 0
+		}
+		elems += s
+	}
+	groups = append(groups, [2]int{lo, len(sizes)})
+
+	runSPMD(t, n, func(m transport.Mesh) error {
+		tensors := fusedTestTensors(m.Rank())
+		res := tensor.New(total)
+		groupLo := 0
+		for gi, g := range groups {
+			buf := tensor.New(0)
+			for _, v := range tensors[g[0]:g[1]] {
+				buf = append(buf, v...)
+			}
+			tag := int64(3)*int64(len(groups)+1) + int64(gi)
+			if err := AllReduceOpts(m, tag, buf, OpAverage, Options{
+				Compression: wire, Residual: res[groupLo : groupLo+len(buf)],
+			}); err != nil {
+				return err
+			}
+			off := 0
+			for _, v := range tensors[g[0]:g[1]] {
+				copy(v, buf[off:off+len(v)])
+				off += len(v)
+			}
+			groupLo += len(buf)
+		}
+		rank := m.Rank()
+		for ti := range tensors {
+			for i := range tensors[ti] {
+				a := math.Float64bits(tensors[ti][i])
+				b := math.Float64bits(refTensors[rank][ti][i])
+				if a != b {
+					t.Errorf("rank %d tensor %d elem %d: fused %v != unfused %v",
+						rank, ti, i, refTensors[rank][ti][i], tensors[ti][i])
+					return nil
+				}
+			}
+		}
+		for i := range res {
+			if math.Float64bits(res[i]) != math.Float64bits(refRes[rank][i]) {
+				t.Errorf("rank %d residual %d: fused %v != unfused %v",
+					rank, i, refRes[rank][i], res[i])
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// TestFusedAllReduceErrorFeedbackConverges: iterating fused compressed
+// reductions with error feedback on a constant input drives the compressed
+// average toward the exact one (the EF loop corrects quantization error).
+func TestFusedAllReduceErrorFeedbackConverges(t *testing.T) {
+	const n = 3
+	const iters = 30
+	sizes := []int{40, 25}
+	total := 65
+	// Exact average of the constant per-rank inputs.
+	exact := make([]tensor.Vector, len(sizes))
+	for ti, sz := range sizes {
+		exact[ti] = tensor.New(sz)
+		for i := range exact[ti] {
+			for r := 0; r < n; r++ {
+				exact[ti][i] += (math.Sin(float64(ti*100+i)) + float64(r)) / n
+			}
+		}
+	}
+	sumErr := make([]float64, n)
+	runSPMD(t, n, func(m transport.Mesh) error {
+		rank := m.Rank()
+		res := tensor.New(total)
+		acc := make([]tensor.Vector, len(sizes))
+		for ti, sz := range sizes {
+			acc[ti] = tensor.New(sz)
+		}
+		for k := 0; k < iters; k++ {
+			tensors := make([]tensor.Vector, len(sizes))
+			off := 0
+			for ti, sz := range sizes {
+				tensors[ti] = tensor.New(sz)
+				for i := range tensors[ti] {
+					tensors[ti][i] = math.Sin(float64(ti*100+i)) + float64(rank)
+					// EF: fold the residual of earlier rounds back in.
+					tensors[ti][i] += res[off+i] * float64(n)
+					res[off+i] = 0
+				}
+				off += sz
+			}
+			if err := FusedAllReduceOpts(m, int64(k), tensors, OpAverage, 256, Options{
+				Compression: tensor.I8, Residual: res,
+			}); err != nil {
+				return err
+			}
+			for ti := range acc {
+				_ = acc[ti].Add(tensors[ti])
+			}
+		}
+		var worst float64
+		for ti := range acc {
+			for i := range acc[ti] {
+				got := acc[ti][i] / iters
+				if d := math.Abs(got - exact[ti][i]); d > worst {
+					worst = d
+				}
+			}
+		}
+		sumErr[rank] = worst
+		return nil
+	})
+	for rank, e := range sumErr {
+		// I8 without EF has per-round error around the quantization step of
+		// the block scale; with EF the running average must land well below
+		// a single round's quantization error.
+		if e > 0.01 {
+			t.Errorf("rank %d: EF average error %v", rank, e)
+		}
+	}
+}
+
+// TestFusedAllReduceResidualLengthValidation: a wrong-length residual is
+// rejected before any traffic.
+func TestFusedAllReduceResidualLengthValidation(t *testing.T) {
+	net, err := transport.NewLocalNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	m := net.Endpoints()[0]
+	tensors := []tensor.Vector{tensor.New(4), tensor.New(5)}
+	if err := FusedAllReduceOpts(m, 0, tensors, OpSum, 0, Options{
+		Compression: tensor.F16, Residual: tensor.New(8),
+	}); err == nil {
+		t.Fatal("bad residual length accepted")
+	}
+}

@@ -41,6 +41,22 @@ type TrainConfig struct {
 	// SlowDown optionally injects extra compute latency per iteration
 	// for a given rank (tests and examples use it to create stragglers).
 	SlowDown func(rank, iter int) time.Duration
+	// Overlap enables the reducer pipeline: the backward pass emits
+	// gradient buckets (model.LayeredModel) and each bucket's collective
+	// launches as soon as its last layer finalizes, overlapping the rest of
+	// backprop with communication. All ranks must agree on Overlap,
+	// OverlapSerial and FusionBytes. Bit-identical to itself under any
+	// scheduling — the bucket plan is a pure function of the model and
+	// FusionBytes, and bucket collectives touch disjoint spans.
+	Overlap bool
+	// OverlapSerial keeps the bucketed data path but waits for each bucket
+	// collective before launching the next — the sequential reference the
+	// overlap benchmarks and bit-identity tests compare against.
+	OverlapSerial bool
+	// FusionBytes caps a reduction bucket's size when coalescing emitted
+	// gradient spans (0 = collective.DefaultFusionBytes). A threshold at
+	// least as large as the gradient collapses the plan to one bucket.
+	FusionBytes int
 }
 
 func (c *TrainConfig) validate() error {
@@ -87,6 +103,9 @@ type Result struct {
 	NullContribs int
 	// Elapsed is the worker's wall-clock training time.
 	Elapsed time.Duration
+	// MaxInFlight is the peak number of concurrently in-flight bucket
+	// collectives the overlap reducer reached (0 when Overlap is off).
+	MaxInFlight int
 }
 
 // RunRNAWorker trains with the RNA protocol: a compute thread produces
@@ -109,6 +128,9 @@ type postSyncHook func(k int64, mu *sync.Mutex, params tensor.Vector) error
 func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainConfig, post postSyncHook) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Overlap {
+		return runRNAOverlapped(mesh, ctrl, cfg, post)
 	}
 	start := time.Now()
 	rank := mesh.Rank()
@@ -294,6 +316,9 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Overlap {
+		return runBSPOverlapped(mesh, ctrl, cfg)
 	}
 	start := time.Now()
 	rank := mesh.Rank()

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer-aware gradients for comm/compute overlap.
+//
+// A blocking data-parallel step computes the whole gradient, then reduces
+// it: the network idles during backprop and the CPU idles during the
+// collective. Overlap needs the backward pass to hand out finished pieces
+// early — in reverse layer order, since backprop finalizes the output
+// layer's gradient first — so the reducer can put them on the wire while
+// earlier layers are still computing. LayeredModel is that contract; flat
+// models fall back to a single whole-vector bucket (no overlap, same
+// result).
+
+// Span is a contiguous half-open range [Lo, Hi) of the flat parameter
+// vector.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of parameters in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// LayeredModel is a Model whose backward pass can emit gradient spans as
+// they finish, in reverse layer order.
+type LayeredModel interface {
+	Model
+	// GradientBuckets returns the emission spans of the parameter vector,
+	// in the order GradientLayers finalizes them. The spans partition
+	// [0, Dim()) and are a pure function of the model architecture, so
+	// every SPMD rank computes the same list.
+	GradientBuckets() []Span
+	// GradientLayers computes the batch gradient exactly like Gradient —
+	// bit-identical grad and loss — but calls emit(i) as soon as span i of
+	// GradientBuckets is fully accumulated and will not be written again.
+	// A non-nil error from emit aborts the pass.
+	GradientLayers(params, grad tensor.Vector, batch []int, emit func(layer int) error) (float64, error)
+}
+
+// Buckets returns m's gradient emission spans: a LayeredModel reports its
+// own, any other model degrades to one whole-vector span.
+func Buckets(m Model) []Span {
+	if lm, ok := m.(LayeredModel); ok {
+		return lm.GradientBuckets()
+	}
+	return []Span{{Lo: 0, Hi: m.Dim()}}
+}
+
+// GradientEmit runs the layered backward pass when m supports it and the
+// plain gradient otherwise, in which case the single whole-vector span is
+// emitted at the end. The emit callback receives indices into Buckets(m).
+func GradientEmit(m Model, params, grad tensor.Vector, batch []int, emit func(layer int) error) (float64, error) {
+	if lm, ok := m.(LayeredModel); ok {
+		return lm.GradientLayers(params, grad, batch, emit)
+	}
+	loss, err := m.Gradient(params, grad, batch)
+	if err != nil {
+		return loss, err
+	}
+	return loss, emit(0)
+}
+
+// Bucket is one reduction bucket of the overlap plan: a contiguous
+// parameter span plus the emission layer that completes it.
+type Bucket struct {
+	Span
+	// LastLayer is the index (into the emission span list) of the last
+	// span merged into this bucket; the bucket is ready for reduction as
+	// soon as that layer emits.
+	LastLayer int
+}
+
+// PlanBuckets coalesces emission spans into reduction buckets holding at
+// most fusionBytes bytes (8 per element; fusionBytes <= 0 disables
+// coalescing, one bucket per span; a single span larger than the threshold
+// keeps its own bucket). Only adjacent-in-memory spans merge, so every
+// bucket stays a contiguous parameter range that collectives can reduce in
+// place.
+//
+// The plan is a pure function of (spans, fusionBytes): fixed bucket
+// boundaries, in deterministic emission order. That is the bit-identity
+// argument for the overlap reducer — every rank derives the identical plan
+// from the shared model architecture and threshold, each bucket's
+// collective is a deterministic function of its inputs, and bucket results
+// land in disjoint spans, so launching the collectives concurrently cannot
+// change a single bit relative to running them back to back.
+func PlanBuckets(spans []Span, fusionBytes int) []Bucket {
+	if len(spans) == 0 {
+		return nil
+	}
+	maxElems := 0
+	if fusionBytes > 0 {
+		maxElems = fusionBytes / 8
+		if maxElems < 1 {
+			maxElems = 1
+		}
+	}
+	out := make([]Bucket, 0, len(spans))
+	cur := Bucket{Span: spans[0], LastLayer: 0}
+	for i, s := range spans[1:] {
+		layer := i + 1
+		contiguous := s.Lo == cur.Hi || s.Hi == cur.Lo
+		if maxElems > 0 && contiguous && cur.Len()+s.Len() <= maxElems {
+			if s.Lo == cur.Hi {
+				cur.Hi = s.Hi
+			} else {
+				cur.Lo = s.Lo
+			}
+			cur.LastLayer = layer
+			continue
+		}
+		out = append(out, cur)
+		cur = Bucket{Span: s, LastLayer: layer}
+	}
+	return append(out, cur)
+}
+
+// validateSpans checks that spans partition [0, dim) — used by tests and
+// the reducer's startup validation.
+func validateSpans(spans []Span, dim int) error {
+	seen := 0
+	for _, s := range spans {
+		if s.Lo < 0 || s.Hi > dim || s.Lo >= s.Hi {
+			return fmt.Errorf("model: bad span [%d,%d) of dim %d", s.Lo, s.Hi, dim)
+		}
+		seen += s.Len()
+	}
+	if seen != dim {
+		return fmt.Errorf("model: spans cover %d of %d parameters", seen, dim)
+	}
+	return nil
+}
+
+// ValidateBuckets checks that a plan's buckets partition [0, dim).
+func ValidateBuckets(plan []Bucket, dim int) error {
+	spans := make([]Span, len(plan))
+	for i, b := range plan {
+		spans[i] = b.Span
+	}
+	return validateSpans(spans, dim)
+}

@@ -1,0 +1,260 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// layeredMLP builds an MLP large enough that layer1Blocks > 1, so the
+// emission tests exercise the blocked W1 pass.
+func layeredMLP(t *testing.T) (*MLP, tensor.Vector, []int) {
+	t.Helper()
+	src := rng.New(77)
+	ds, err := data.Blobs(src, 5, 32, 20, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMLP(ds, 64) // W1 = 64*32 = 2048 elems
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := tensor.New(m.Dim())
+	m.Init(src, params)
+	batch := []int{0, 7, 13, 22, 41, 63, 80, 99}
+	return m, params, batch
+}
+
+func TestMLPGradientLayersBitIdentical(t *testing.T) {
+	for _, hidden := range []int{3, 17, 64, 200} {
+		src := rng.New(int64(100 + hidden))
+		ds, err := data.Blobs(src, 4, 11, 12, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMLP(ds, hidden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := tensor.New(m.Dim())
+		m.Init(src, params)
+		batch := []int{0, 5, 9, 20, 33, 47}
+
+		ref := tensor.New(m.Dim())
+		refLoss, err := m.Gradient(params, ref, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		grad := tensor.New(m.Dim())
+		var emitted []int
+		loss, err := m.GradientLayers(params, grad, batch, func(layer int) error {
+			emitted = append(emitted, layer)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss != refLoss {
+			t.Errorf("hidden=%d: loss %v != %v", hidden, loss, refLoss)
+		}
+		for i := range grad {
+			if grad[i] != ref[i] {
+				t.Fatalf("hidden=%d: grad[%d] = %v, Gradient gives %v", hidden, i, grad[i], ref[i])
+			}
+		}
+
+		spans := m.GradientBuckets()
+		if err := validateSpans(spans, m.Dim()); err != nil {
+			t.Fatalf("hidden=%d: %v", hidden, err)
+		}
+		if len(emitted) != len(spans) {
+			t.Fatalf("hidden=%d: %d emissions for %d spans", hidden, len(emitted), len(spans))
+		}
+		for i, l := range emitted {
+			if l != i {
+				t.Errorf("hidden=%d: emission %d reported layer %d", hidden, i, l)
+			}
+		}
+	}
+}
+
+// TestMLPEmissionSpansFinal checks the emission contract itself: at the
+// moment emit(i) fires, span i of the gradient already holds its final
+// value and is never written again.
+func TestMLPEmissionSpansFinal(t *testing.T) {
+	m, params, batch := layeredMLP(t)
+	ref := tensor.New(m.Dim())
+	if _, err := m.Gradient(params, ref, batch); err != nil {
+		t.Fatal(err)
+	}
+	spans := m.GradientBuckets()
+	grad := tensor.New(m.Dim())
+	if _, err := m.GradientLayers(params, grad, batch, func(layer int) error {
+		s := spans[layer]
+		for i := s.Lo; i < s.Hi; i++ {
+			if grad[i] != ref[i] {
+				t.Fatalf("layer %d span [%d,%d): grad[%d] = %v not final (want %v)",
+					layer, s.Lo, s.Hi, i, grad[i], ref[i])
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPGradientLayersEmitError(t *testing.T) {
+	m, params, batch := layeredMLP(t)
+	grad := tensor.New(m.Dim())
+	boom := errors.New("boom")
+	calls := 0
+	_, err := m.GradientLayers(params, grad, batch, func(int) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestBucketsFallback(t *testing.T) {
+	src := rng.New(3)
+	q, err := NewQuadratic(src, 9, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := Buckets(q)
+	if len(spans) != 1 || spans[0] != (Span{Lo: 0, Hi: 9}) {
+		t.Fatalf("flat model spans = %v", spans)
+	}
+	// GradientEmit on a flat model emits the single span once, at the end,
+	// and matches Gradient bitwise.
+	ref := tensor.New(q.Dim())
+	refLoss, err := q.Gradient(q.Optimum, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := tensor.New(q.Dim())
+	emits := 0
+	loss, err := GradientEmit(q, q.Optimum, grad, nil, func(layer int) error {
+		emits++
+		if layer != 0 {
+			t.Errorf("layer = %d", layer)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emits != 1 {
+		t.Errorf("emits = %d", emits)
+	}
+	if loss != refLoss {
+		t.Errorf("loss %v != %v", loss, refLoss)
+	}
+	for i := range grad {
+		if grad[i] != ref[i] {
+			t.Fatalf("grad[%d] = %v != %v", i, grad[i], ref[i])
+		}
+	}
+}
+
+func TestPlanBuckets(t *testing.T) {
+	// MLP-like emission spans partitioning [0, 80): the top span first,
+	// then four 16-element blocks in descending memory order.
+	spans := []Span{{64, 80}, {48, 64}, {32, 48}, {16, 32}, {0, 16}}
+
+	t.Run("disabled", func(t *testing.T) {
+		plan := PlanBuckets(spans, 0)
+		if len(plan) != len(spans) {
+			t.Fatalf("plan = %v", plan)
+		}
+		for i, b := range plan {
+			if b.Span != spans[i] || b.LastLayer != i {
+				t.Errorf("bucket %d = %+v", i, b)
+			}
+		}
+	})
+	t.Run("merge-pairs", func(t *testing.T) {
+		// 32 elems * 8 bytes = 256-byte cap: pairs of 16-elem spans merge.
+		plan := PlanBuckets(spans, 256)
+		want := []Bucket{
+			{Span{48, 80}, 1},
+			{Span{16, 48}, 3},
+			{Span{0, 16}, 4},
+		}
+		if len(plan) != len(want) {
+			t.Fatalf("plan = %v", plan)
+		}
+		for i := range want {
+			if plan[i] != want[i] {
+				t.Errorf("bucket %d = %+v, want %+v", i, plan[i], want[i])
+			}
+		}
+		if err := ValidateBuckets(plan, 80); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("merge-all", func(t *testing.T) {
+		plan := PlanBuckets(spans, 1<<20)
+		if len(plan) != 1 || plan[0].Span != (Span{0, 80}) || plan[0].LastLayer != 4 {
+			t.Fatalf("plan = %v", plan)
+		}
+	})
+	t.Run("non-contiguous-never-merges", func(t *testing.T) {
+		gap := []Span{{0, 10}, {20, 30}}
+		plan := PlanBuckets(gap, 1<<20)
+		if len(plan) != 2 {
+			t.Fatalf("plan = %v", plan)
+		}
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		a := PlanBuckets(spans, 256)
+		b := PlanBuckets(spans, 256)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("plan not deterministic")
+			}
+		}
+	})
+
+	// The real MLP plan must partition the parameter vector at every
+	// fusion threshold.
+	m, _, _ := layeredMLP(t)
+	for _, fb := range []int{0, 1, 4096, 1 << 14, 1 << 30} {
+		plan := PlanBuckets(m.GradientBuckets(), fb)
+		if err := ValidateBuckets(plan, m.Dim()); err != nil {
+			t.Fatalf("fusionBytes=%d: %v", fb, err)
+		}
+		last := -1
+		for _, b := range plan {
+			if b.LastLayer <= last {
+				t.Fatalf("fusionBytes=%d: LastLayer not increasing: %v", fb, plan)
+			}
+			last = b.LastLayer
+		}
+	}
+}
+
+func TestValidateSpans(t *testing.T) {
+	if err := validateSpans([]Span{{0, 5}, {5, 10}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]Span{
+		{{0, 5}},           // under-cover
+		{{0, 5}, {4, 10}},  // overlap (covers 11)
+		{{-1, 5}, {5, 11}}, // out of range
+		{{5, 5}, {0, 10}},  // empty span
+	} {
+		if err := validateSpans(bad, 10); err == nil {
+			t.Errorf("spans %v accepted", bad)
+		}
+	}
+}

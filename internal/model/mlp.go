@@ -19,7 +19,10 @@ type MLP struct {
 	hidden int
 }
 
-var _ Classifier = (*MLP)(nil)
+var (
+	_ Classifier   = (*MLP)(nil)
+	_ LayeredModel = (*MLP)(nil)
+)
 
 // NewMLP binds an MLP with the given hidden width to a classification
 // dataset.
@@ -155,6 +158,131 @@ func (m *MLP) Gradient(params, grad tensor.Vector, batch []int) (float64, error)
 			tensor.Axpy(gw1[j*f:(j+1)*f], dh*inv, ex.X)
 			gb1[j] += dh * inv
 		}
+	}
+	return loss * inv, nil
+}
+
+// mlpEmitElems is the target W1 elements per emission block (~128 KiB):
+// fine enough that the overlap reducer can put early blocks on the wire
+// while later ones compute, coarse enough that per-block loop overhead
+// stays negligible.
+const mlpEmitElems = 16384
+
+// mlpMaxEmitBlocks caps the W1 block count.
+const mlpMaxEmitBlocks = 16
+
+// layer1Blocks returns how many row blocks the layered backward splits W1
+// into — a pure function of the architecture, so every rank agrees.
+func (m *MLP) layer1Blocks() int {
+	r := m.hidden * m.ds.Features / mlpEmitElems
+	if r < 1 {
+		r = 1
+	}
+	if r > mlpMaxEmitBlocks {
+		r = mlpMaxEmitBlocks
+	}
+	if r > m.hidden {
+		r = m.hidden
+	}
+	return r
+}
+
+// GradientBuckets implements LayeredModel. Backprop finalizes the output
+// layer first, so emission order is W2++b2, then W1 in row blocks from the
+// top of the parameter range downward (adjacent emitted spans stay
+// memory-contiguous for bucket coalescing), and finally b1, which is
+// accumulated alongside the W1 blocks and certain only once all of them
+// are done.
+func (m *MLP) GradientBuckets() []Span {
+	f, h := m.ds.Features, m.hidden
+	hf := h * f
+	spans := make([]Span, 0, m.layer1Blocks()+2)
+	spans = append(spans, Span{Lo: hf + h, Hi: m.Dim()}) // W2 ++ b2
+	R := m.layer1Blocks()
+	for blk := R - 1; blk >= 0; blk-- {
+		lo, hi, _ := tensor.ChunkBounds(h, R, blk)
+		spans = append(spans, Span{Lo: lo * f, Hi: hi * f})
+	}
+	return append(spans, Span{Lo: hf, Hi: hf + h}) // b1
+}
+
+// GradientLayers implements LayeredModel: the same exact backprop as
+// Gradient — per-element accumulation stays in batch order, so grad and
+// loss are bit-identical — restructured into two passes. Pass 1 runs the
+// forward and the output layer over the whole batch, stashing each
+// example's hidden activations and deltas; W2/b2 are then final and emit.
+// Pass 2 replays the stash to accumulate W1 row blocks from the top down,
+// emitting each block as it completes, with b1 last.
+func (m *MLP) GradientLayers(params, grad tensor.Vector, batch []int, emit func(layer int) error) (float64, error) {
+	if len(params) != m.Dim() || len(grad) != m.Dim() {
+		return 0, tensor.ErrShapeMismatch
+	}
+	if len(batch) == 0 {
+		return 0, errors.New("model: empty batch")
+	}
+	grad.Zero()
+	f, h, c := m.ds.Features, m.hidden, m.ds.Classes
+	_, _, w2, _ := m.slices(params)
+	gw1, gb1, gw2, gb2 := m.slices(grad)
+	ws := getWorkspace()
+	defer ws.release()
+	ws.hid = grow(ws.hid, h)
+	ws.probs = grow(ws.probs, c)
+	ws.deltaH = grow(ws.deltaH, h)
+	ws.stash = grow(ws.stash, 2*len(batch)*h)
+	hid, probs, deltaH := ws.hid, ws.probs, ws.deltaH
+	inv := 1 / float64(len(batch))
+	var loss float64
+	for bi, idx := range batch {
+		if idx < 0 || idx >= m.ds.Len() {
+			return 0, fmt.Errorf("%w: %d", ErrBadBatch, idx)
+		}
+		ex := m.ds.Examples[idx]
+		m.forward(params, ex.X, hid, probs)
+		softmaxInPlace(probs)
+		p := probs[ex.Label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+
+		for j := range deltaH {
+			deltaH[j] = 0
+		}
+		for k := 0; k < c; k++ {
+			d := probs[k]
+			if k == ex.Label {
+				d--
+			}
+			tensor.Axpy(gw2[k*h:(k+1)*h], d*inv, hid)
+			tensor.Axpy(deltaH, d, w2[k*h:(k+1)*h])
+			gb2[k] += d * inv
+		}
+		stash := ws.stash[bi*2*h : (bi+1)*2*h]
+		copy(stash[:h], hid)
+		copy(stash[h:], deltaH)
+	}
+	if err := emit(0); err != nil {
+		return 0, err
+	}
+	R := m.layer1Blocks()
+	for blk := R - 1; blk >= 0; blk-- {
+		lo, hi, _ := tensor.ChunkBounds(h, R, blk)
+		for bi, idx := range batch {
+			ex := m.ds.Examples[idx]
+			stash := ws.stash[bi*2*h : (bi+1)*2*h]
+			for j := lo; j < hi; j++ {
+				dh := stash[h+j] * (1 - stash[j]*stash[j])
+				tensor.Axpy(gw1[j*f:(j+1)*f], dh*inv, ex.X)
+				gb1[j] += dh * inv
+			}
+		}
+		if err := emit(R - blk); err != nil {
+			return 0, err
+		}
+	}
+	if err := emit(R + 1); err != nil {
+		return 0, err
 	}
 	return loss * inv, nil
 }

@@ -14,6 +14,10 @@ type workspace struct {
 	probs  []float64
 	deltaH []float64
 	order  []int
+	// stash holds the layered backward pass's per-example activations and
+	// deltas (batch × 2·hidden), so the second (layer-1) pass replays them
+	// without recomputing the forward.
+	stash []float64
 }
 
 var wsPool = sync.Pool{New: func() any { return &workspace{} }}

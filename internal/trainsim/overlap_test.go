@@ -1,0 +1,109 @@
+package trainsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// slowLink prices a comm-bound cluster: a gigabit-class link under a
+// ResNet-sized gradient makes the collective comparable to the 100ms
+// compute step.
+func slowLink() workload.CommModel {
+	return workload.CommModel{
+		Latency:       50 * time.Microsecond,
+		Bandwidth:     125e6, // 1 Gb/s
+		PCIeBandwidth: 11e9,
+	}
+}
+
+// TestOverlapPricingPreservesTrajectory: OverlapBuckets changes only the
+// virtual clock. For BSP the trajectory (loss, accuracy, iterations) is
+// bitwise that of the sequential run; for RNA the clock feeds back into the
+// asynchronous schedule (staleness depends on timing), so there only the
+// OverlapBuckets ≤ 1 identity and the speedup are asserted.
+func TestOverlapPricingPreservesTrajectory(t *testing.T) {
+	for _, strategy := range []Strategy{Horovod, RNA} {
+		base := testConfig(t, strategy, 4, 40)
+		base.Comm = slowLink()
+		run := func(buckets int) *Result {
+			cfg := base
+			cfg.OverlapBuckets = buckets
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		seq := run(0)
+		one := run(1)
+		over := run(8)
+		if seq.VirtualTime != one.VirtualTime {
+			t.Errorf("%v: OverlapBuckets=1 changed the clock: %v vs %v", strategy, one.VirtualTime, seq.VirtualTime)
+		}
+		pairs := []struct {
+			name string
+			a, b *Result
+		}{{"buckets=1", seq, one}}
+		if strategy == Horovod {
+			pairs = append(pairs, struct {
+				name string
+				a, b *Result
+			}{"buckets=8", seq, over})
+		}
+		for _, pair := range pairs {
+			if pair.a.FinalLoss != pair.b.FinalLoss {
+				t.Errorf("%v %s: loss %v vs %v", strategy, pair.name, pair.a.FinalLoss, pair.b.FinalLoss)
+			}
+			if pair.a.TrainAcc != pair.b.TrainAcc {
+				t.Errorf("%v %s: acc %v vs %v", strategy, pair.name, pair.a.TrainAcc, pair.b.TrainAcc)
+			}
+			if pair.a.Iterations != pair.b.Iterations {
+				t.Errorf("%v %s: iters %d vs %d", strategy, pair.name, pair.a.Iterations, pair.b.Iterations)
+			}
+		}
+		if over.VirtualTime >= seq.VirtualTime {
+			t.Errorf("%v: overlapped clock %v not faster than sequential %v on a comm-bound link",
+				strategy, over.VirtualTime, seq.VirtualTime)
+		}
+		t.Logf("%v: sequential %v, overlapped %v (%.2fx)",
+			strategy, seq.VirtualTime, over.VirtualTime,
+			float64(seq.VirtualTime)/float64(over.VirtualTime))
+	}
+}
+
+// TestOverlapPricingBounds: per round, the overlapped price cannot fall
+// below the last bucket's collective nor beat compute-only, and cannot
+// exceed the sequential price.
+func TestOverlapPricingBounds(t *testing.T) {
+	base := testConfig(t, Horovod, 4, 30)
+	base.Comm = slowLink()
+	seqCfg := base
+	res, err := Run(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overCfg := base
+	overCfg.OverlapBuckets = 8
+	over, err := Run(overCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqComm := res.Breakdowns[0].Comm
+	overComm := over.Breakdowns[0].Comm
+	if overComm >= seqComm {
+		t.Errorf("overlapped comm charge %v >= sequential %v", overComm, seqComm)
+	}
+	if overComm <= 0 {
+		t.Errorf("overlapped comm charge %v not positive", overComm)
+	}
+	ratio := float64(overComm) / float64(seqComm)
+	if ratio < 1.0/8-1e-9 {
+		t.Errorf("overlapped comm %v below the per-bucket floor of sequential %v", overComm, seqComm)
+	}
+	if math.IsNaN(ratio) {
+		t.Error("NaN comm ratio")
+	}
+}

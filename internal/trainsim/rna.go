@@ -487,10 +487,13 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 		contributors++
 	}
 
-	// Price the collective: one extra payload element carries the
-	// contribution count (see collective.PartialAllReduce). The schedule
-	// is the configured one (ring by default, auto for selector runs).
-	commCost := s.cfg.allReduceCost(s.n, s.cfg.Spec.GradientBytes()+8)
+	// Price the collective: one extra payload element per bucket carries
+	// the contribution count (see collective.PartialAllReduce). The
+	// schedule is the configured one (ring by default, auto for selector
+	// runs). With overlap the bucket collectives launch across the window
+	// computation raced until the trigger (tNow → fire) and only the tail
+	// is charged; sequential pricing (1 bucket) is unchanged.
+	commCost := s.cfg.commTail(s.n, s.cfg.Spec.GradientBytes(), fire-tNow, 8)
 	if s.payCopy && !s.cfg.DirectGPU {
 		oh := s.cfg.Comm.RNACopyOverhead(s.cfg.Spec.GradientBytes())
 		if s.cfg.LayerOverlap {

@@ -138,6 +138,14 @@ type Config struct {
 	// 8.5: per-layer copies pipeline against backpropagation, exposing
 	// only one layer's copy in each direction.
 	LayerOverlap bool
+	// OverlapBuckets prices the reducer pipeline (comm/compute overlap):
+	// the gradient splits into this many bucket collectives that launch
+	// as the compute window emits them, and a round charges only the
+	// communication tail left after compute ends
+	// (workload.OverlappedTail). 0 or 1 keeps the sequential pricing —
+	// one whole-gradient collective charged in full after compute —
+	// bit-identical to earlier versions.
+	OverlapBuckets int
 	// PSSyncEvery is the hierarchical scheme's PS exchange period in
 	// group synchronizations (default 4; the paper leaves frequency
 	// tuning as future work).
@@ -235,6 +243,38 @@ func (c *Config) allReduceCost(n int, bytes int64) time.Duration {
 		return c.Comm.AllReduce(c.Collective, n, bytes)
 	}
 	return c.Comm.AllReduceWire(c.Collective, n, int(bytes/8), c.Compression)
+}
+
+// overlapBuckets returns the priced bucket count (min 1).
+func (c *Config) overlapBuckets() int {
+	if c.OverlapBuckets < 1 {
+		return 1
+	}
+	return c.OverlapBuckets
+}
+
+// commTail prices one synchronization's communication given the compute
+// window it may overlap with. With OverlapBuckets ≤ 1 this is exactly
+// allReduceCost of the whole payload — the historical sequential price.
+// With B buckets the payload splits into B collectives (the last takes the
+// remainder; extraPerBucket models per-bucket framing such as RNA's
+// contributor flag) launching as compute emits them, and the round charges
+// only the tail workload.OverlappedTail leaves after the compute window.
+func (c *Config) commTail(n int, bytes int64, compute time.Duration, extraPerBucket int64) time.Duration {
+	b := c.overlapBuckets()
+	if b <= 1 {
+		return c.allReduceCost(n, bytes+extraPerBucket)
+	}
+	per := bytes / int64(b)
+	comms := make([]time.Duration, b)
+	for i := range comms {
+		sz := per
+		if i == b-1 {
+			sz = bytes - per*int64(b-1)
+		}
+		comms[i] = c.allReduceCost(n, sz+extraPerBucket)
+	}
+	return workload.OverlappedTail(compute, comms)
 }
 
 func (c *Config) injector() hetero.Injector {

@@ -62,13 +62,31 @@ type chanQueue struct {
 	head   int // index of the oldest message
 	count  int
 	closed bool
+	// notify carries a wake token after every push (and on close), so a
+	// single consumer can select on message arrival alongside other events
+	// (the stream demux selects on it against the pull semaphore). Tokens
+	// are sticky, not counted: a consumer must re-check tryPop after every
+	// wake and tolerate stale tokens.
+	notify chan struct{}
 }
 
 func newChanQueue() *chanQueue {
-	q := &chanQueue{}
+	q := &chanQueue{notify: make(chan struct{}, 1)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
+
+// wake sets the notify token if it is not already pending.
+func (q *chanQueue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// ready returns the wake channel: it yields a token after a push or close.
+// Spurious and stale tokens are possible; pair every receipt with tryPop.
+func (q *chanQueue) ready() <-chan struct{} { return q.notify }
 
 func (q *chanQueue) push(m Message) error {
 	q.mu.Lock()
@@ -87,6 +105,7 @@ func (q *chanQueue) push(m Message) error {
 	q.buf[(q.head+q.count)%len(q.buf)] = m
 	q.count++
 	q.cond.Signal()
+	q.wake()
 	return nil
 }
 
@@ -106,11 +125,27 @@ func (q *chanQueue) pop() (Message, error) {
 	return m, nil
 }
 
+// tryPop removes and returns the oldest message without blocking; ok is
+// false when the queue is empty (closed or not).
+func (q *chanQueue) tryPop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return Message{}, false
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = Message{} // drop the payload reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return m, true
+}
+
 func (q *chanQueue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.wake()
 }
 
 // LocalNetwork is an in-memory mesh fabric for n ranks within one process.

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Tag-stream demultiplexing.
+//
+// A Mesh delivers a single FIFO per peer: Recv(from) returns the next
+// message that peer sent, whatever it belongs to. That is exactly right for
+// one collective at a time and exactly wrong for concurrent collectives —
+// two in-flight ring reductions on one mesh would steal each other's
+// messages off the shared per-peer queue. The overlap reducer needs several
+// bucket collectives in flight at once, so the transport grows tag streams:
+// independent virtual FIFOs multiplexed over one mesh.
+//
+// A stream id rides in the high bits of the Message.Iter field — the wire
+// format is unchanged, and collectives keep their full (Iter, Chunk) tag
+// arithmetic inside a stream. StreamDemux wraps a parent mesh; Stream(id)
+// returns a Mesh view that stamps the id on sends and, on receive, pops
+// only messages carrying its id. Routing is pull-driven and cooperative:
+// whichever stream needs a message drains the parent queue under a per-peer
+// election, delivering strays to their owning stream's queue, so no pump
+// goroutine exists and an idle demux costs nothing.
+//
+// The election must be selectable, not a mutex: the elected puller may block
+// in parent.Recv indefinitely (its own message simply hasn't been sent yet)
+// AFTER having routed another stream's message. A waiter committed to a
+// mutex acquire could never observe that routed delivery, and if the
+// puller's missing message transitively depends on the waiter's progress on
+// another rank, the job deadlocks. Waiters therefore select on their own
+// queue's wake channel against the pull semaphore, so a routed delivery
+// always unblocks its owner even while the puller stays parked.
+
+// streamIterBits is how many low bits of Iter remain for the collective's
+// own iteration tag; the high bits carry the stream id.
+const streamIterBits = 48
+
+// MaxStreamIter is the exclusive upper bound on iteration tags usable
+// within a stream.
+const MaxStreamIter = int64(1) << streamIterBits
+
+// ErrIterOverflow is returned when an iteration tag does not fit the
+// stream-multiplexed Iter space (negative or ≥ MaxStreamIter): packing it
+// would alias another stream's messages onto this one.
+var ErrIterOverflow = errors.New("transport: iter outside stream tag space")
+
+// packStreamIter folds a stream id into the high bits of an iteration tag.
+func packStreamIter(stream int32, iter int64) (int64, error) {
+	if iter < 0 || iter >= MaxStreamIter {
+		return 0, fmt.Errorf("%w: iter %d", ErrIterOverflow, iter)
+	}
+	return int64(stream)<<streamIterBits | iter, nil
+}
+
+// unpackStreamIter splits a packed Iter into (stream, iter). Messages sent
+// outside any stream (iter < MaxStreamIter) decode as stream 0, so legacy
+// senders interoperate with a demux listening on Stream(0).
+func unpackStreamIter(packed int64) (int32, int64) {
+	return int32(packed >> streamIterBits), packed & (MaxStreamIter - 1)
+}
+
+// StreamDemux multiplexes independent tag streams over one parent Mesh.
+// Each Stream(id) view behaves as a private mesh: concurrent collectives on
+// distinct streams cannot observe each other's messages. One goroutine per
+// (stream, peer) may Recv at a time — which the SPMD collectives satisfy by
+// construction — while different streams may run fully concurrently.
+//
+// The demux owns the parent's receive side while any stream is active: raw
+// parent.Recv calls must not be mixed with stream Recvs, or routing races
+// on the shared queues.
+type StreamDemux struct {
+	parent Mesh
+
+	// pull[j] is a binary semaphore electing the goroutine that drains the
+	// parent's peer-j queue (send acquires, receive releases). A channel
+	// rather than a mutex so waiters can select against their own queue.
+	pull []chan struct{}
+
+	mu     sync.Mutex
+	queues map[uint64]*chanQueue // (stream, peer) -> routed messages
+}
+
+// NewStreamDemux wraps parent for tag-stream use. The parent must not be
+// receiving elsewhere while streams are active.
+func NewStreamDemux(parent Mesh) *StreamDemux {
+	d := &StreamDemux{
+		parent: parent,
+		pull:   make([]chan struct{}, parent.Size()),
+		queues: make(map[uint64]*chanQueue),
+	}
+	for j := range d.pull {
+		d.pull[j] = make(chan struct{}, 1)
+	}
+	return d
+}
+
+// Stream returns the mesh view for stream id (id ≥ 0). Views are cheap and
+// stateless; the per-peer queues are created lazily on first routing.
+func (d *StreamDemux) Stream(id int32) Mesh {
+	return &streamMesh{d: d, id: id}
+}
+
+func streamKey(stream int32, peer int) uint64 {
+	return uint64(uint32(stream))<<32 | uint64(uint32(peer))
+}
+
+// queue returns (creating if needed) the routed-message queue for
+// (stream, peer).
+func (d *StreamDemux) queue(stream int32, peer int) *chanQueue {
+	key := streamKey(stream, peer)
+	d.mu.Lock()
+	q := d.queues[key]
+	if q == nil {
+		q = newChanQueue()
+		d.queues[key] = q
+	}
+	d.mu.Unlock()
+	return q
+}
+
+// streamMesh is one stream's view of the demux parent.
+type streamMesh struct {
+	d  *StreamDemux
+	id int32
+}
+
+var (
+	_ Mesh        = (*streamMesh)(nil)
+	_ OwnedSender = (*streamMesh)(nil)
+)
+
+func (s *streamMesh) Rank() int { return s.d.parent.Rank() }
+func (s *streamMesh) Size() int { return s.d.parent.Size() }
+
+// Send stamps the stream id into the message's Iter and forwards to the
+// parent.
+func (s *streamMesh) Send(to int, msg Message) error {
+	packed, err := packStreamIter(s.id, msg.Iter)
+	if err != nil {
+		return err
+	}
+	msg.Iter = packed
+	return s.d.parent.Send(to, msg)
+}
+
+// SendOwned implements OwnedSender; the payload is released even when the
+// iter does not fit the stream tag space, honoring the ownership contract.
+func (s *streamMesh) SendOwned(to int, msg Message) error {
+	packed, err := packStreamIter(s.id, msg.Iter)
+	if err != nil {
+		PutPayload(msg.Payload)
+		return err
+	}
+	msg.Iter = packed
+	return SendOwned(s.d.parent, to, msg)
+}
+
+// Recv returns the next message rank `from` sent on this stream. Messages
+// for other streams encountered while draining the parent queue are routed
+// to their owners.
+func (s *streamMesh) Recv(from int) (Message, error) {
+	if from < 0 || from >= s.d.parent.Size() {
+		return Message{}, fmt.Errorf("transport: recv from rank %d of %d", from, s.d.parent.Size())
+	}
+	own := s.d.queue(s.id, from)
+	pull := s.d.pull[from]
+	for {
+		if msg, ok := own.tryPop(); ok {
+			return msg, nil
+		}
+		select {
+		case <-own.ready():
+			// The elected puller routed a message to us (or left a stale
+			// token); loop around and try the pop.
+		case pull <- struct{}{}:
+			// We are the puller: drain one message from the parent, then
+			// stand down so a waiter with a routed message can proceed and
+			// the election stays fair.
+			msg, ok, err := s.drainOne(own, from)
+			<-pull
+			if err != nil {
+				return Message{}, err
+			}
+			if ok {
+				return msg, nil
+			}
+		}
+	}
+}
+
+// drainOne, running as the elected puller for peer `from`, returns this
+// stream's next message when one is available (already routed, or next off
+// the parent). A stray for another stream is routed to its owner's queue —
+// whose wake channel unblocks that owner even if it is mid-select — and
+// ok=false tells the caller to re-enter the election.
+func (s *streamMesh) drainOne(own *chanQueue, from int) (Message, bool, error) {
+	// Another stream may have routed our message while we waited for the
+	// election; prefer it over draining further.
+	if msg, ok := own.tryPop(); ok {
+		return msg, true, nil
+	}
+	msg, err := s.d.parent.Recv(from)
+	if err != nil {
+		return Message{}, false, err
+	}
+	stream, iter := unpackStreamIter(msg.Iter)
+	msg.Iter = iter
+	if stream == s.id {
+		return msg, true, nil
+	}
+	// The push cannot fail — demux queues never close.
+	_ = s.d.queue(stream, from).push(msg)
+	return Message{}, false, nil
+}
+
+// Close closes the underlying mesh (all streams share its lifecycle).
+func (s *streamMesh) Close() error { return s.d.parent.Close() }

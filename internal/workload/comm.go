@@ -325,6 +325,44 @@ func (c CommModel) RNAOverlappedCopyOverhead(gradientBytes int64, layers int) ti
 	return 2 * c.HostDeviceCopy(gradientBytes/int64(layers))
 }
 
+// OverlappedTail prices a comm/compute-overlapped step: compute runs for
+// `compute` emitting len(comms) gradient buckets at evenly spaced points,
+// and bucket b's collective (cost comms[b]) starts as soon as both the
+// bucket is emitted and the previous bucket's collective finished (the
+// collectives share one link, so they serialize in launch order — the
+// pipeline's bottleneck resource). The returned duration is the
+// communication tail left over after compute ends:
+//
+//	emit_b   = compute · (b+1)/B
+//	finish_b = max(emit_b, finish_{b−1}) + comms[b]
+//	tail     = max(finish_{B−1}, compute) − compute
+//
+// Degenerate cases recover the familiar prices: compute = 0 gives Σ comms
+// (fully sequential), compute ≫ Σ comms gives comms[B−1] (only the last
+// bucket's collective is exposed). An overlapped step then costs
+// compute + OverlappedTail instead of compute + Σ comms.
+func OverlappedTail(compute time.Duration, comms []time.Duration) time.Duration {
+	if len(comms) == 0 {
+		return 0
+	}
+	if compute < 0 {
+		compute = 0
+	}
+	b := len(comms)
+	var finish time.Duration
+	for i, c := range comms {
+		emit := time.Duration(float64(compute) * float64(i+1) / float64(b))
+		if emit > finish {
+			finish = emit
+		}
+		finish += c
+	}
+	if finish < compute {
+		finish = compute
+	}
+	return finish - compute
+}
+
 // String implements fmt.Stringer.
 func (c CommModel) String() string {
 	return fmt.Sprintf("comm(lat=%v bw=%.2gGB/s pcie=%.2gGB/s)",

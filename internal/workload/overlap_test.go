@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOverlappedTailDegenerate(t *testing.T) {
+	if got := OverlappedTail(time.Second, nil); got != 0 {
+		t.Errorf("no buckets: tail = %v", got)
+	}
+	// Zero compute: nothing overlaps, the tail is the full serialized comm.
+	comms := []time.Duration{3 * time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond}
+	if got, want := OverlappedTail(0, comms), 10*time.Millisecond; got != want {
+		t.Errorf("zero compute: tail = %v, want %v", got, want)
+	}
+	// Negative compute clamps to zero.
+	if got, want := OverlappedTail(-time.Second, comms), 10*time.Millisecond; got != want {
+		t.Errorf("negative compute: tail = %v, want %v", got, want)
+	}
+	// Compute far beyond comm: only the last bucket's collective is
+	// exposed (it cannot start before the last emission, at compute end).
+	if got, want := OverlappedTail(time.Hour, comms), 2*time.Millisecond; got != want {
+		t.Errorf("compute-bound: tail = %v, want %v", got, want)
+	}
+	// One bucket: the tail is that bucket's full cost regardless of
+	// compute (it launches only when compute finishes) — this is what
+	// keeps sequential pricing bit-identical at OverlapBuckets <= 1.
+	if got, want := OverlappedTail(7*time.Millisecond, comms[:1]), comms[0]; got != want {
+		t.Errorf("single bucket: tail = %v, want %v", got, want)
+	}
+}
+
+func TestOverlappedTailPipeline(t *testing.T) {
+	// 4 buckets of 10ms comm each over 40ms compute: emissions at 10, 20,
+	// 30, 40ms; each collective finishes just as the next emission lands,
+	// so only the last bucket's 10ms spills past compute.
+	comms := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond}
+	if got, want := OverlappedTail(40*time.Millisecond, comms), 10*time.Millisecond; got != want {
+		t.Errorf("balanced pipeline: tail = %v, want %v", got, want)
+	}
+	// Comm-bound: 4x10ms comm over 8ms compute. First bucket emits at
+	// 2ms, then the link is busy back to back: finish = 2 + 40 = 42ms,
+	// tail = 34ms — better than the 40ms serial price by the overlap of
+	// the first emission.
+	if got, want := OverlappedTail(8*time.Millisecond, comms), 34*time.Millisecond; got != want {
+		t.Errorf("comm-bound: tail = %v, want %v", got, want)
+	}
+}
+
+// TestOverlappedTailMonotonic: more compute to hide behind never increases
+// the tail, and the tail never beats the last bucket's cost nor the serial
+// sum.
+func TestOverlappedTailMonotonic(t *testing.T) {
+	comms := []time.Duration{4 * time.Millisecond, 9 * time.Millisecond, 1 * time.Millisecond, 6 * time.Millisecond}
+	var serial time.Duration
+	for _, c := range comms {
+		serial += c
+	}
+	prev := serial + 1
+	for compute := time.Duration(0); compute <= 60*time.Millisecond; compute += time.Millisecond {
+		tail := OverlappedTail(compute, comms)
+		if tail > prev {
+			t.Fatalf("tail grew with compute: %v at %v (prev %v)", tail, compute, prev)
+		}
+		if tail > serial {
+			t.Fatalf("tail %v exceeds serial sum %v", tail, serial)
+		}
+		if tail < comms[len(comms)-1] {
+			t.Fatalf("tail %v below last bucket %v at compute %v", tail, comms[len(comms)-1], compute)
+		}
+		prev = tail
+	}
+}
