@@ -35,6 +35,13 @@ func runCalibrate(outPath string, ranks, smallDim, largeDim, rounds int) error {
 		fmt.Fprintf(os.Stderr, "calibrate: %-17s alpha=%.0fns beta=%.3fns/B\n",
 			row.name, row.c.AlphaNs, row.c.BetaNsPerByte)
 	}
+	// Link classes (probed at >= 8 ranks): level l of a multi-level
+	// schedule is priced with Links[l], so the level planner can tell a
+	// near group from a far one.
+	for l, c := range cal.Model.Links {
+		fmt.Fprintf(os.Stderr, "calibrate: link class %d      alpha=%.0fns beta=%.3fns/B\n",
+			l, c.AlphaNs, c.BetaNsPerByte)
+	}
 	return nil
 }
 

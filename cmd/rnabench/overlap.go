@@ -303,6 +303,9 @@ func runBenchSmoke() error {
 	if err := smokeCompression(); err != nil {
 		return fmt.Errorf("bench-smoke compression: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, params bit-identical)\n", buckets, inFlight)
+	if err := smokeScaling(); err != nil {
+		return fmt.Errorf("bench-smoke scaling: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, 64-rank multi-level bit-identical, params bit-identical)\n", buckets, inFlight)
 	return nil
 }

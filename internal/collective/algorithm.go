@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/tensor"
+	"repro/internal/topology"
 	"repro/internal/transport"
 )
 
@@ -24,6 +25,11 @@ const (
 	// AlgoTree is binomial-tree reduce + broadcast: fewest messages, full
 	// vector per hop — for tiny tensors only.
 	AlgoTree
+	// AlgoMultiLevel is the topology-aware level-tree schedule (see
+	// multilevel.go): groups ring-reduce, leaders recurse, results broadcast
+	// back down. AlgoAuto also reaches it when the cost model's level search
+	// beats every flat schedule (large rank counts).
+	AlgoMultiLevel
 )
 
 // String implements fmt.Stringer; the names match the BENCH_collective.json
@@ -38,6 +44,8 @@ func (a Algorithm) String() string {
 		return "halving-doubling"
 	case AlgoTree:
 		return "tree"
+	case AlgoMultiLevel:
+		return "multilevel"
 	default:
 		return fmt.Sprintf("algorithm(%d)", int(a))
 	}
@@ -54,6 +62,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgoHalvingDoubling, nil
 	case "tree":
 		return AlgoTree, nil
+	case "multilevel", "multi-level", "ml":
+		return AlgoMultiLevel, nil
 	}
 	return 0, fmt.Errorf("collective: unknown algorithm %q", s)
 }
@@ -97,6 +107,15 @@ type Options struct {
 	// the residual is distributed across ranks by ownership, matching how
 	// the error physically arises.
 	Residual tensor.Vector
+	// TopK, when positive, replaces the dense schedule with the sparse
+	// top-k gradient exchange (see sparse.go): each rank ships only its k
+	// largest-magnitude elements as an index+value frame, the union is
+	// tree-reduced, and every rank materializes the identical sparse sum.
+	// Requires Algorithm == AlgoAuto and Compression == F64 (selected
+	// values travel exact; sparsity IS the compression). With Residual set,
+	// the dropped mass accumulates there — error feedback, same contract as
+	// lossy dense dtypes.
+	TopK int
 }
 
 // AllReduceOpts reduces v in place across all ranks of m under opts. All
@@ -109,8 +128,31 @@ func AllReduceOpts(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, o
 	if opts.Residual != nil && len(opts.Residual) != len(v) {
 		return fmt.Errorf("collective: residual length %d != vector length %d", len(opts.Residual), len(v))
 	}
+	if opts.TopK < 0 {
+		return fmt.Errorf("collective: negative top-k %d", opts.TopK)
+	}
+	if opts.TopK > 0 {
+		if opts.Algorithm != AlgoAuto {
+			return fmt.Errorf("collective: top-k does not compose with a pinned %v schedule", opts.Algorithm)
+		}
+		if opts.Compression != tensor.F64 {
+			return fmt.Errorf("collective: top-k does not compose with %v compression (selected values ship exact)", opts.Compression)
+		}
+		return topKAllReduce(m, iter, v, op, opts.TopK, opts.Residual)
+	}
 	algo := opts.Algorithm
 	if algo == AlgoAuto {
+		// The level search runs before the flat selector: when a level tree
+		// beats every flat schedule (large rank counts), AlgoAuto takes it.
+		// Both checks are pure functions of (n, elems, wire) and the shared
+		// model, so SPMD ranks agree on the branch AND the plan.
+		if branches := ActiveCostModel().SelectLevels(m.Size(), len(v), opts.Compression); branches != nil {
+			plan, err := topology.UniformPlan(m.Size(), branches)
+			if err != nil {
+				return err
+			}
+			return multiLevelOpts(m, iter, v, op, opts, plan)
+		}
 		algo = SelectAlgorithmWire(m.Size(), len(v), opts.Compression)
 	}
 	switch algo {
@@ -120,9 +162,25 @@ func AllReduceOpts(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, o
 		return halvingDoublingAllReduce(m, iter, v, op, opts.Compression, opts.Residual)
 	case AlgoTree:
 		return treeAllReduce(m, iter, v, op, opts.Compression, opts.Residual)
+	case AlgoMultiLevel:
+		plan, err := autoPlan(m.Size(), len(v), opts.Compression)
+		if err != nil {
+			return err
+		}
+		return multiLevelOpts(m, iter, v, op, opts, plan)
 	default:
 		return fmt.Errorf("collective: unsupported algorithm %v", algo)
 	}
+}
+
+// multiLevelOpts runs the cached multi-level engine for plan, stripping the
+// Algorithm pin so the within-level dispatch re-selects per level size.
+func multiLevelOpts(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, opts Options, plan *topology.Plan) error {
+	ml, err := cachedMultiLevel(m, plan)
+	if err != nil {
+		return err
+	}
+	return ml.RunOpts(iter, v, op, Options{Compression: opts.Compression, Residual: opts.Residual})
 }
 
 // PartialAllReduce is PartialRingAllReduce with cost-model algorithm

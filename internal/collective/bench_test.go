@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/tensor"
+	"repro/internal/topology"
 	"repro/internal/transport"
 )
 
@@ -158,4 +159,52 @@ func BenchmarkHierarchicalAllReduce(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkMultiLevelCacheDelta measures the SubMesh-cache win: the same
+// level tree executed through a pre-built engine (one construction per
+// endpoint, the HierarchicalAllReduce/AlgoAuto steady state) versus
+// rebuilding the engine — every per-level SubMesh — on each call, which is
+// what the two-level path used to do per iteration.
+func BenchmarkMultiLevelCacheDelta(b *testing.B) {
+	const n, dim = 16, 1 << 12
+	plan, err := topology.UniformPlan(n, []int{4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, rebuild bool) {
+		net, err := transport.NewLocalNetwork(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = net.Close() }()
+		vecs := make([]tensor.Vector, n)
+		for i := range vecs {
+			vecs[i] = tensor.New(dim)
+		}
+		eps := net.Endpoints()
+		engines := make([]*collective.MultiLevel, n)
+		for i, m := range eps {
+			if engines[i], err = collective.NewMultiLevel(m, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(dim * 8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runRanks(b, eps, func(m transport.Mesh) error {
+				ml := engines[m.Rank()]
+				if rebuild {
+					var err error
+					if ml, err = collective.NewMultiLevel(m, plan); err != nil {
+						return err
+					}
+				}
+				return ml.Run(int64(i), vecs[m.Rank()], collective.OpAverage)
+			})
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, false) })
+	b.Run("rebuild", func(b *testing.B) { run(b, true) })
 }

@@ -3,6 +3,7 @@ package collective
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -39,6 +40,23 @@ type CostModel struct {
 	Ring            AlgoCost `json:"ring"`
 	HalvingDoubling AlgoCost `json:"halving_doubling"`
 	Tree            AlgoCost `json:"tree"`
+	// Links holds per-link-class constants for multi-level schedules:
+	// Links[l] prices level l's traffic (level 0 = the fastest class, e.g.
+	// intra-machine; the last entry repeats for deeper levels). Empty on
+	// legacy calibrations — the Ring constants substitute, which collapses
+	// level pricing to the uniform-fabric case.
+	Links []AlgoCost `json:"links,omitempty"`
+}
+
+// linkCost returns the constants pricing traffic at plan level l.
+func (c CostModel) linkCost(l int) AlgoCost {
+	if len(c.Links) == 0 {
+		return c.Ring
+	}
+	if l >= len(c.Links) {
+		l = len(c.Links) - 1
+	}
+	return c.Links[l]
 }
 
 // DefaultCostModel returns constants fitted by `rnabench -calibrate` on the
@@ -231,6 +249,141 @@ func (c CostModel) SelectWire(n, elems int, wire tensor.Dtype) Algorithm {
 	if t := c.PredictWireNs(AlgoRing, n, elems, wire); t < bestT {
 		best = AlgoRing
 	}
+	return best
+}
+
+// Multi-level pricing. A level tree of group sizes g_0 … g_top costs, on
+// its critical path: a g_l-rank sum AllReduce per ascending level, the top
+// group's shared scale, and a g_l-wide binomial broadcast per descending
+// level (the top level has no broadcast — its AllReduce already leaves all
+// members finished).
+//
+// The per-link term is what makes the structure decision topology-aware:
+// level l's traffic is priced with the class-l link constants (Links[l]),
+// because a plan matched to the fabric keeps level-l exchanges on class-l
+// links. A TERMINAL group — the top of a structure, including the flat
+// single-group structure — spans ranks from every island below it, so its
+// hops traverse the slowest class present; it is priced with the last Links
+// entry. That asymmetry is the honest physics of hierarchy: on a uniform
+// fabric (Links empty or single-class) splitting only adds work and the
+// search stays flat, while on a fabric whose slow class has expensive hops
+// the split pays a few fast-class levels to shrink the number of slow-class
+// hops from O(log n) (or O(n) for the ring) to O(log G).
+
+// minMultiLevelRanks is the rank count below which SelectLevels always
+// answers flat: the crossover on any plausible fabric sits well above
+// this, and staying flat keeps small-job behavior (and the existing test
+// matrix) untouched.
+const minMultiLevelRanks = 64
+
+// levelSplitCandidates are the branching factors the level-structure search
+// considers at each level.
+var levelSplitCandidates = [...]int{2, 4, 8, 16, 32, 64}
+
+// maxSelectLevels bounds the structure search depth (mirrors the planner's
+// topology.maxPlanLevels budget: levels below the top).
+const maxSelectLevels = 7
+
+// slowestLink returns the constants of the slowest (last) link class.
+func (c CostModel) slowestLink() AlgoCost {
+	if len(c.Links) == 0 {
+		return c.Ring
+	}
+	return c.Links[len(c.Links)-1]
+}
+
+// allReduceShapeBest prices a g-rank sum AllReduce with link constants k,
+// taking the cheapest of the three schedule shapes — mirroring the AlgoAuto
+// dispatch the multi-level engine runs within each level.
+func allReduceShapeBest(g int, bytes int64, k AlgoCost) float64 {
+	if g <= 1 {
+		return 0
+	}
+	shapes := [3]func(int, int64) (float64, float64){ringShape, halvingDoublingShape, treeShape}
+	best := math.Inf(1)
+	for _, shape := range shapes {
+		msgs, vol := shape(g, bytes)
+		if t := msgs*k.AlphaNs + vol*k.BetaNsPerByte; t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// PredictLevelsNs prices a multi-level AllReduce of elems elements whose
+// per-level max group sizes are sizes (see topology.Plan.LevelSizes). The
+// descent broadcasts ship the given wire dtype; the ascent is fp64. A
+// single-entry sizes is the flat schedule, priced at the slowest class.
+func (c CostModel) PredictLevelsNs(sizes []int, elems int, wire tensor.Dtype) float64 {
+	bytes := int64(elems) * 8
+	var total float64
+	for l, g := range sizes {
+		if g <= 1 {
+			continue
+		}
+		k := c.linkCost(l)
+		if l == len(sizes)-1 {
+			k = c.slowestLink()
+		}
+		total += allReduceShapeBest(g, bytes, k)
+		if l < len(sizes)-1 {
+			// Descent broadcast at this level: ceil(log2 g) sequential hops
+			// of the full wire-encoded vector on class-l links.
+			hops := float64(ceilLog2(g))
+			total += hops*k.AlphaNs + hops*float64(wire.WireBytes(elems))*k.BetaNsPerByte
+		}
+	}
+	return total
+}
+
+// SelectLevels returns the branching factors (topology.UniformPlan input)
+// of the cheapest level structure for an AllReduce of elems elements across
+// n ranks, or nil when the flat single-level structure wins (or n is below
+// minMultiLevelRanks). Like SelectWire, the answer is a pure function of
+// (n, elems, wire) and the model, so SPMD ranks agree on both the branch
+// and the plan.
+func (c CostModel) SelectLevels(n, elems int, wire tensor.Dtype) []int {
+	if n < minMultiLevelRanks {
+		return nil
+	}
+	memo := make(map[[2]int]levelChoice)
+	return c.bestSplit(n, elems, wire, 0, memo).branches
+}
+
+type levelChoice struct {
+	cost     float64
+	branches []int
+}
+
+// bestSplit returns the cheapest level structure for n participants at tree
+// level `level`: either stop (single terminal group of n, slowest-class
+// links) or split by some branching factor (class-`level` links for the
+// groups and their descent broadcast, then recurse on the leaders).
+func (c CostModel) bestSplit(n, elems int, wire tensor.Dtype, level int, memo map[[2]int]levelChoice) levelChoice {
+	key := [2]int{n, level}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	bytes := int64(elems) * 8
+	best := levelChoice{cost: allReduceShapeBest(n, bytes, c.slowestLink())}
+	if level < maxSelectLevels {
+		k := c.linkCost(level)
+		for _, b := range levelSplitCandidates {
+			if b >= n {
+				continue
+			}
+			nGroups := (n + b - 1) / b
+			maxGroup := (n + nGroups - 1) / nGroups
+			hops := float64(ceilLog2(maxGroup))
+			levelCost := allReduceShapeBest(maxGroup, bytes, k) +
+				hops*k.AlphaNs + hops*float64(wire.WireBytes(elems))*k.BetaNsPerByte
+			rest := c.bestSplit(nGroups, elems, wire, level+1, memo)
+			if total := levelCost + rest.cost; total < best.cost {
+				best = levelChoice{cost: total, branches: append([]int{b}, rest.branches...)}
+			}
+		}
+	}
+	memo[key] = best
 	return best
 }
 
@@ -451,6 +604,94 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 	}
 	if cal.Model.Tree, err = fit(AlgoTree, treeShape); err != nil {
 		return Calibration{}, err
+	}
+
+	// Link-class probes for the multi-level selector. Level 0 is probed as
+	// a ring over a contiguous rank block (the pattern a topology planner
+	// groups onto the fastest links — same machine, same switch), level 1
+	// as a ring over maximally strided ranks (the cross-group leader
+	// pattern). On the in-memory mesh both probes traverse one fabric and
+	// fit near-equal constants; on a deployment whose transport maps rank
+	// distance to link class, the two fits diverge and the level search
+	// starts preferring plans that keep bulk bytes on the close links.
+	probeLinks := func(members []int, dim int) (float64, error) {
+		subs := make([]*transport.SubMesh, len(members))
+		for i, r := range members {
+			s, err := transport.NewSubMesh(eps[r], members)
+			if err != nil {
+				return 0, err
+			}
+			subs[i] = s
+		}
+		vecs := make([]tensor.Vector, len(members))
+		for i := range vecs {
+			vecs[i] = tensor.New(dim)
+			vecs[i].Fill(float64(i + 1))
+		}
+		run := func(iter int64) error {
+			done := make(chan error, len(subs))
+			for i, s := range subs {
+				i, s := i, s
+				go func() { done <- RingAllReduce(s, iter, vecs[i], OpSum) }()
+			}
+			var first error
+			for range subs {
+				if err := <-done; err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+		if err := run(0); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for it := 1; it <= rounds; it++ {
+			if err := run(int64(it)); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(rounds), nil
+	}
+	fitLinks := func(members []int) (AlgoCost, error) {
+		tSmall, err := probeLinks(members, smallDim)
+		if err != nil {
+			return AlgoCost{}, err
+		}
+		tLarge, err := probeLinks(members, largeDim)
+		if err != nil {
+			return AlgoCost{}, err
+		}
+		msgsS, volS := ringShape(len(members), int64(smallDim)*8)
+		_, volL := ringShape(len(members), int64(largeDim)*8)
+		beta := (tLarge - tSmall) / (volL - volS)
+		if beta < 0 {
+			beta = 0
+		}
+		alpha := (tSmall - volS*beta) / msgsS
+		if alpha < 1 {
+			alpha = 1
+		}
+		return AlgoCost{AlphaNs: alpha, BetaNsPerByte: beta}, nil
+	}
+	if ranks >= 8 {
+		probeSize := 4
+		near := make([]int, probeSize)
+		far := make([]int, probeSize)
+		stride := ranks / probeSize
+		for i := 0; i < probeSize; i++ {
+			near[i] = i
+			far[i] = i * stride
+		}
+		intra, err := fitLinks(near)
+		if err != nil {
+			return Calibration{}, fmt.Errorf("calibrate link class 0: %w", err)
+		}
+		inter, err := fitLinks(far)
+		if err != nil {
+			return Calibration{}, fmt.Errorf("calibrate link class 1: %w", err)
+		}
+		cal.Model.Links = []AlgoCost{intra, inter}
 	}
 	return cal, nil
 }

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -87,6 +88,10 @@ func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
 			Ring:            AlgoCost{AlphaNs: 123.5, BetaNsPerByte: 0.25},
 			HalvingDoubling: AlgoCost{AlphaNs: 99, BetaNsPerByte: 0.5},
 			Tree:            AlgoCost{AlphaNs: 77.25, BetaNsPerByte: 1.125},
+			Links: []AlgoCost{
+				{AlphaNs: 50, BetaNsPerByte: 0.125},
+				{AlphaNs: 200, BetaNsPerByte: 2.5},
+			},
 		},
 		Ranks: 8, SmallDim: 256, LargeDim: 1 << 18, Rounds: 30,
 	}
@@ -98,7 +103,7 @@ func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != cal {
+	if !reflect.DeepEqual(got, cal) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, cal)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/tensor"
+	"repro/internal/topology"
 	"repro/internal/transport"
 )
 
@@ -17,10 +18,11 @@ import (
 // links are fast and inter-group links slow (the heterogeneous clusters the
 // paper targets) this beats any flat schedule.
 //
-// Determinism: every rank of a group finishes the intra-group ring with
-// bit-identical group sums, the leader exchange reduces those
-// deterministically, and the broadcast distributes the leader's finished
-// bytes verbatim — so all N ranks end bit-identical.
+// The execution is the depth-2 case of the general level-tree engine in
+// multilevel.go, sharing its cached per-level SubMeshes: calling this every
+// iteration with the same groups rebuilds nothing (the SubMesh rebuild per
+// call used to dominate small-group latency; see BenchmarkHierarchicalCached
+// for the delta), and the bit-identity argument is the engine's.
 
 // HierarchicalAllReduce reduces v in place across all ranks of m. groups
 // must partition 0..m.Size()-1; every rank must pass the same groups slice
@@ -32,15 +34,16 @@ func HierarchicalAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op Red
 	if n == 1 {
 		return nil
 	}
+	// Validate eagerly for precise errors (the engine's plan validation
+	// would catch these too, but with level-tree wording).
 	seen := make([]bool, n)
 	covered := 0
-	var mine []int
-	leaders := make([]int, 0, len(groups))
+	inGroup := false
+	level0 := make([]topology.Group, 0, len(groups))
 	for gi, g := range groups {
 		if len(g) == 0 {
 			return fmt.Errorf("collective: hierarchical group %d empty", gi)
 		}
-		leaders = append(leaders, g[0])
 		for _, r := range g {
 			if r < 0 || r >= n || seen[r] {
 				return fmt.Errorf("collective: hierarchical groups must partition 0..%d (rank %d duplicate or out of range)", n-1, r)
@@ -48,56 +51,34 @@ func HierarchicalAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op Red
 			seen[r] = true
 			covered++
 			if r == m.Rank() {
-				mine = g
+				inGroup = true
 			}
 		}
+		level0 = append(level0, topology.Group{Members: g})
 	}
 	if covered != n {
 		return fmt.Errorf("collective: hierarchical groups cover %d of %d ranks", covered, n)
 	}
-	if mine == nil {
+	if !inGroup {
 		return fmt.Errorf("collective: rank %d not in any group", m.Rank())
 	}
 
-	// Level 1: intra-group ring reduce-to-all. Every member of the group
-	// ends with the group sum; summing (not averaging) keeps the final
-	// scaling a single, bit-consistent 1/N at the leader.
-	var sub *transport.SubMesh
-	if len(mine) > 1 {
-		var err error
-		sub, err = transport.NewSubMesh(m, mine)
-		if err != nil {
-			return err
-		}
-		if err := RingAllReduce(sub, iter, v, OpSum); err != nil {
-			return fmt.Errorf("hierarchical intra-group: %w", err)
-		}
+	plan := &topology.Plan{Ranks: n, Levels: [][]topology.Group{level0}}
+	if len(level0) > 1 {
+		plan.Levels = append(plan.Levels, []topology.Group{{Members: leaders(groups)}})
 	}
+	ml, err := cachedMultiLevel(m, plan)
+	if err != nil {
+		return err
+	}
+	return ml.Run(iter, v, op)
+}
 
-	// Level 2: the group leaders exchange group sums. The leader SubMesh
-	// peer pairs are disjoint from every intra-group pair (one leader per
-	// group), so the two levels' traffic cannot interleave.
-	if m.Rank() == mine[0] {
-		if len(leaders) > 1 {
-			lsub, err := transport.NewSubMesh(m, leaders)
-			if err != nil {
-				return err
-			}
-			if err := AllReduceWith(lsub, iter, v, OpSum, AlgoAuto); err != nil {
-				return fmt.Errorf("hierarchical inter-group: %w", err)
-			}
-		}
-		if op == OpAverage {
-			v.Scale(1 / float64(n))
-		}
+// leaders returns each group's first member.
+func leaders(groups [][]int) []int {
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = g[0]
 	}
-
-	// Broadcast the finished vector back inside the group. Per-pair FIFO
-	// ordering keeps it causally after the level-1 traffic.
-	if sub != nil {
-		if err := Broadcast(sub, iter, v, 0); err != nil {
-			return fmt.Errorf("hierarchical broadcast: %w", err)
-		}
-	}
-	return nil
+	return out
 }

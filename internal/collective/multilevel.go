@@ -1,0 +1,285 @@
+package collective
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Multi-level, topology-aware AllReduce.
+//
+// A topology.Plan generalizes the two-level hierarchy to an arbitrary level
+// tree: level-0 groups ring-reduce internally, their leaders reduce at
+// level 1, and so on up to a single top group whose members finish with the
+// global sum; the result then broadcasts back down the tree. On a fabric
+// with distinct link classes each level's traffic stays on one class; on a
+// uniform fabric the win is message count — a 1024-rank flat ring's 2·1023
+// sequential small steps become two 32-rank levels whose chunks are 32×
+// larger, trading α-dominated hops for bandwidth-friendly ones.
+//
+// Determinism: each group's ring finishes bit-identical on its members, the
+// top group's members hold identical bytes and apply the identical 1/N
+// scale, and the descent broadcasts distribute those bytes verbatim — so
+// all N ranks end bit-identical for a given plan.
+//
+// A MultiLevel instance owns one SubMesh per level this rank participates
+// in, built once at construction — per-iteration calls rebuild nothing
+// (flattened per-rank memory is what lets a 1024-rank in-process mesh run
+// the schedule). The plan and its member slices are shared read-only across
+// the ranks' instances.
+
+// mlLevel is one level of this rank's view of the plan.
+type mlLevel struct {
+	// sub is the cached SubMesh over this rank's group at this level; nil
+	// for singleton groups (nothing to exchange).
+	sub *transport.SubMesh
+	// leader marks this rank as its group's first member — the rank that
+	// ascends to the next level and roots the descent broadcast.
+	leader bool
+	size   int
+}
+
+// MultiLevel executes a plan's schedule over one rank's mesh endpoint.
+type MultiLevel struct {
+	mesh transport.Mesh
+	plan *topology.Plan
+	// levels[l] is this rank's group view at level l, for l ≤ depth.
+	levels []mlLevel
+	// depth is the deepest level this rank participates in (it is a leader
+	// at every level below depth).
+	depth int
+}
+
+// NewMultiLevel validates plan against m and builds this rank's per-level
+// SubMeshes. Every rank of the mesh must construct a MultiLevel from an
+// identical plan.
+func NewMultiLevel(m transport.Mesh, plan *topology.Plan) (*MultiLevel, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Ranks != m.Size() {
+		return nil, fmt.Errorf("collective: plan over %d ranks on a %d-rank mesh", plan.Ranks, m.Size())
+	}
+	ml := &MultiLevel{mesh: m, plan: plan, depth: -1}
+	rank := m.Rank()
+	participant := true
+	for l, level := range plan.Levels {
+		if !participant {
+			break
+		}
+		var mine []int
+		for _, g := range level {
+			for _, r := range g.Members {
+				if r == rank {
+					mine = g.Members
+					break
+				}
+			}
+			if mine != nil {
+				break
+			}
+		}
+		if mine == nil {
+			// Validate guarantees coverage; this guards a plan/mesh rank
+			// mismatch.
+			return nil, fmt.Errorf("collective: rank %d missing from plan level %d", rank, l)
+		}
+		lv := mlLevel{size: len(mine), leader: mine[0] == rank}
+		if len(mine) > 1 {
+			sub, err := transport.NewSubMesh(m, mine)
+			if err != nil {
+				return nil, err
+			}
+			lv.sub = sub
+		}
+		ml.levels = append(ml.levels, lv)
+		ml.depth = l
+		participant = lv.leader
+	}
+	return ml, nil
+}
+
+// Plan returns the level tree the instance executes.
+func (ml *MultiLevel) Plan() *topology.Plan { return ml.plan }
+
+// Run reduces v in place across all ranks of the mesh under the plan. All
+// ranks must pass the same iter, op and vector length.
+func (ml *MultiLevel) Run(iter int64, v tensor.Vector, op ReduceOp) error {
+	return ml.RunOpts(iter, v, op, Options{})
+}
+
+// RunOpts is Run with options. opts.Algorithm selects the within-level
+// schedule (AlgoAuto prices each level's size independently; AlgoMultiLevel
+// is rejected — the plan IS the multi-level structure). opts.Compression
+// applies to the descent broadcasts, with the top group quantizing exactly
+// once; the ascent reduction stays fp64. opts.Residual collects the
+// quantization error at the top group's leader only (the error arises once,
+// globally — accumulating it on every top member would multiply it by the
+// top group size when residuals are folded back).
+func (ml *MultiLevel) RunOpts(iter int64, v tensor.Vector, op ReduceOp, opts Options) error {
+	if !opts.Compression.Valid() {
+		return fmt.Errorf("collective: unknown compression dtype %d", opts.Compression)
+	}
+	if opts.Residual != nil && len(opts.Residual) != len(v) {
+		return fmt.Errorf("collective: residual length %d != vector length %d", len(opts.Residual), len(v))
+	}
+	if opts.TopK != 0 {
+		return fmt.Errorf("collective: top-k sparsification does not compose with the multi-level schedule")
+	}
+	if ml.mesh.Size() == 1 {
+		return nil
+	}
+	algo := opts.Algorithm
+	if algo == AlgoMultiLevel {
+		return fmt.Errorf("collective: multi-level within multi-level")
+	}
+
+	// Ascend: group-local sum AllReduce per level, fp64 on the wire so the
+	// reduction is exact. Summing (not averaging) keeps the final scaling a
+	// single, bit-consistent 1/N at the top.
+	for l := 0; l <= ml.depth; l++ {
+		if ml.levels[l].sub == nil {
+			continue
+		}
+		if err := AllReduceWith(ml.levels[l].sub, iter, v, OpSum, algo); err != nil {
+			return fmt.Errorf("multi-level ascend level %d: %w", l, err)
+		}
+	}
+
+	// Top: every member of the top group now holds the identical global
+	// sum. Scale and (optionally) quantize — identically on each member, so
+	// bit-identity survives.
+	top := len(ml.plan.Levels) - 1
+	if ml.depth == top {
+		if op == OpAverage {
+			v.Scale(1 / float64(ml.plan.Ranks))
+		}
+		if opts.Compression != tensor.F64 {
+			if opts.Residual != nil && ml.levels[top].leader {
+				tensor.RoundTripEF(opts.Compression, v, opts.Residual)
+			} else {
+				tensor.RoundTrip(opts.Compression, v)
+			}
+		}
+	}
+
+	// Descend: each level's leader broadcasts the finished bytes inside its
+	// group (local rank 0 is the leader by construction). Relays re-encode
+	// decoded grid values exactly (idempotence), so compression does not
+	// break the all-ranks-bit-identical contract. Per-pair FIFO keeps each
+	// level's broadcast causally after its ascend traffic.
+	start := ml.depth
+	if start > top-1 {
+		start = top - 1
+	}
+	for l := start; l >= 0; l-- {
+		if ml.levels[l].sub == nil {
+			continue
+		}
+		if err := broadcast(ml.levels[l].sub, iter, v, 0, opts.Compression); err != nil {
+			return fmt.Errorf("multi-level descend level %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// Per-endpoint MultiLevel cache.
+//
+// Rebuilding SubMeshes per call costs O(plan size) allocations per rank per
+// iteration — measurable at 8 ranks and prohibitive at 1024. Mesh endpoint
+// values are pointers, so the cache keys on the endpoint identity plus a
+// fingerprint of the plan's full member layout; a repartition (new plan)
+// replaces the entry, and steady-state training hits the cache every
+// iteration.
+const mlCacheCap = 4096
+
+var mlCache = struct {
+	sync.Mutex
+	entries map[transport.Mesh]*mlCacheEntry
+}{entries: make(map[transport.Mesh]*mlCacheEntry)}
+
+type mlCacheEntry struct {
+	key string
+	ml  *MultiLevel
+}
+
+// planKey fingerprints a plan's exact member layout.
+func planKey(plan *topology.Plan) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(plan.Ranks))
+	for _, level := range plan.Levels {
+		b.WriteByte('|')
+		for gi, g := range level {
+			if gi > 0 {
+				b.WriteByte(';')
+			}
+			for mi, r := range g.Members {
+				if mi > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(r))
+			}
+		}
+	}
+	return b.String()
+}
+
+// cachedMultiLevel returns the (building if needed) MultiLevel for this
+// endpoint and plan. Safe for concurrent use by the SPMD ranks — each rank
+// has its own endpoint, hence its own entry.
+func cachedMultiLevel(m transport.Mesh, plan *topology.Plan) (*MultiLevel, error) {
+	key := planKey(plan)
+	mlCache.Lock()
+	if e, ok := mlCache.entries[m]; ok && e.key == key {
+		mlCache.Unlock()
+		return e.ml, nil
+	}
+	mlCache.Unlock()
+	ml, err := NewMultiLevel(m, plan)
+	if err != nil {
+		return nil, err
+	}
+	mlCache.Lock()
+	if len(mlCache.entries) >= mlCacheCap {
+		// Crude generation flush: entries are cheap to rebuild and the cap
+		// only exists to bound a long-running process that churns meshes.
+		mlCache.entries = make(map[transport.Mesh]*mlCacheEntry)
+	}
+	mlCache.entries[m] = &mlCacheEntry{key: key, ml: ml}
+	mlCache.Unlock()
+	return ml, nil
+}
+
+// MultiLevelAllReduce reduces v in place across all ranks of m under plan,
+// using the per-endpoint cached engine. All ranks must pass identical
+// plans, iter, op and vector length.
+func MultiLevelAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, plan *topology.Plan) error {
+	ml, err := cachedMultiLevel(m, plan)
+	if err != nil {
+		return err
+	}
+	return ml.Run(iter, v, op)
+}
+
+// autoPlan returns the plan AlgoMultiLevel runs when the caller did not
+// supply one: the cost model's preferred level structure, or a balanced
+// two-level √n split when the model would rather stay flat (an explicit
+// AlgoMultiLevel pin means "give me the hierarchy anyway").
+func autoPlan(n, elems int, wire tensor.Dtype) (*topology.Plan, error) {
+	if branches := ActiveCostModel().SelectLevels(n, elems, wire); branches != nil {
+		return topology.UniformPlan(n, branches)
+	}
+	g := 2
+	for g*g < n {
+		g++
+	}
+	if g >= n {
+		return topology.FlatPlan(n)
+	}
+	return topology.UniformPlan(n, []int{g})
+}

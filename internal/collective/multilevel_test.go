@@ -1,0 +1,335 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// runPlan clones the inputs, runs the multi-level engine SPMD under plan,
+// and returns per-rank results.
+func runPlan(t *testing.T, inputs []tensor.Vector, iter int64, op ReduceOp, plan *topology.Plan) []tensor.Vector {
+	t.Helper()
+	got := make([]tensor.Vector, len(inputs))
+	for r := range got {
+		got[r] = inputs[r].Clone()
+	}
+	runSPMD(t, len(inputs), func(m transport.Mesh) error {
+		return MultiLevelAllReduce(m, iter, got[m.Rank()], op, plan)
+	})
+	return got
+}
+
+// assertMatchesSerial requires every rank within 1e-12 of the serial
+// reference AND bit-identical to rank 0.
+func assertMatchesSerial(t *testing.T, label string, got []tensor.Vector, want tensor.Vector) {
+	t.Helper()
+	for r := range got {
+		if j, ok := withinTol(got[r], want, 1e-12); !ok {
+			t.Fatalf("%s rank=%d elem %d: got %v, want %v", label, r, j, got[r][j], want[j])
+		}
+	}
+	for r := 1; r < len(got); r++ {
+		for j := range got[0] {
+			if math.Float64bits(got[r][j]) != math.Float64bits(got[0][j]) {
+				t.Fatalf("%s: rank %d elem %d not bit-identical to rank 0", label, r, j)
+			}
+		}
+	}
+}
+
+// TestMultiLevelMatchesSerial sweeps level structures over non-power-of-two
+// rank counts, non-uniform group sizes and singleton groups — the group
+// planner shapes the engine must execute bit-identically.
+func TestMultiLevelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		n        int
+		branches []int
+	}{
+		{2, []int{2}},
+		{4, []int{2}},
+		{7, []int{2}},        // non-power-of-two, sizes 2/2/2 + remainder
+		{9, []int{3}},        // 3x3
+		{10, []int{3}},       // groups of 3..4 → non-uniform sizes
+		{16, []int{4, 2}},    // three levels
+		{13, []int{2, 3}},    // three levels, ragged everywhere
+		{12, []int{5}},       // 5,4,3-ish split with ragged remainder
+		{8, nil},             // flat degenerate plan
+		{11, []int{2, 2, 2}}, // four levels on a prime rank count
+	}
+	for _, tc := range cases {
+		plan, err := topology.UniformPlan(tc.n, tc.branches)
+		if err != nil {
+			t.Fatalf("UniformPlan(%d, %v): %v", tc.n, tc.branches, err)
+		}
+		for _, op := range []ReduceOp{OpSum, OpAverage} {
+			for _, dim := range []int{0, 1, 17, 260} {
+				inputs := randomInputs(rng, tc.n, dim)
+				want := serialSum(inputs, op)
+				got := runPlan(t, inputs, 3, op, plan)
+				assertMatchesSerial(t, plan.String(), got, want)
+			}
+		}
+	}
+}
+
+// TestMultiLevelSingletonGroups: a plan whose level-0 groups are all
+// singletons degenerates to a flat exchange one level up — including the
+// extreme where EVERY rank is its own group.
+func TestMultiLevelSingletonGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 6
+	plan := &topology.Plan{
+		Ranks: n,
+		Levels: [][]topology.Group{
+			{{Members: []int{0}}, {Members: []int{1}}, {Members: []int{2}}, {Members: []int{3}}, {Members: []int{4}}, {Members: []int{5}}},
+			{{Members: []int{0, 1, 2, 3, 4, 5}}},
+		},
+	}
+	inputs := randomInputs(rng, n, 33)
+	want := serialSum(inputs, OpAverage)
+	got := runPlan(t, inputs, 1, OpAverage, plan)
+	assertMatchesSerial(t, "singletons", got, want)
+
+	// Mixed singleton and wide groups.
+	plan = &topology.Plan{
+		Ranks: n,
+		Levels: [][]topology.Group{
+			{{Members: []int{0, 3}}, {Members: []int{1}}, {Members: []int{2, 4, 5}}},
+			{{Members: []int{0, 1, 2}}},
+		},
+	}
+	inputs = randomInputs(rng, n, 65)
+	want = serialSum(inputs, OpSum)
+	got = runPlan(t, inputs, 2, OpSum, plan)
+	assertMatchesSerial(t, "mixed singleton", got, want)
+}
+
+// TestMultiLevelPlannerShapesExecute closes the loop with the topology
+// planner: plans produced by PlanFromLinks on skewed fabrics run correctly.
+func TestMultiLevelPlannerShapesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// 12 ranks, 3 machines of 4: intra fast, inter slow.
+	n := 12
+	bw := make([][]float64, n)
+	for i := range bw {
+		bw[i] = make([]float64, n)
+		for j := range bw[i] {
+			if i == j {
+				continue
+			}
+			if i/4 == j/4 {
+				bw[i][j] = 10e9
+			} else {
+				bw[i][j] = 1e9
+			}
+		}
+	}
+	plan, err := topology.PlanFromLinks(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Levels) != 2 {
+		t.Fatalf("planner produced %v, want 2 levels", plan)
+	}
+	inputs := randomInputs(rng, n, 129)
+	want := serialSum(inputs, OpAverage)
+	got := runPlan(t, inputs, 5, OpAverage, plan)
+	assertMatchesSerial(t, "planned "+plan.String(), got, want)
+}
+
+// TestMultiLevelRejectsBadPlans: structural validation runs before any
+// traffic.
+func TestMultiLevelRejectsBadPlans(t *testing.T) {
+	bad := []*topology.Plan{
+		{Ranks: 4, Levels: [][]topology.Group{{{Members: []int{0, 1}}}}},
+		{Ranks: 4, Levels: [][]topology.Group{{{Members: []int{0, 1}}, {Members: []int{2, 3}}}, {{Members: []int{1, 2}}}}},
+		{Ranks: 8, Levels: [][]topology.Group{{{Members: []int{0, 1, 2, 3}}}}}, // plan smaller than mesh
+	}
+	for i, plan := range bad {
+		plan := plan
+		runSPMD(t, 4, func(m transport.Mesh) error {
+			if err := MultiLevelAllReduce(m, 0, tensor.New(8), OpSum, plan); err == nil {
+				t.Errorf("bad plan %d accepted", i)
+			}
+			return nil
+		})
+	}
+}
+
+// TestMultiLevelCompression: compressed descent with error feedback at the
+// top leader — all ranks still bit-identical, result within the dtype's
+// tolerance of the serial reference.
+func TestMultiLevelCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 9
+	plan, err := topology.UniformPlan(n, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := randomInputs(rng, n, 260)
+	want := serialSum(inputs, OpAverage)
+	got := make([]tensor.Vector, n)
+	residuals := make([]tensor.Vector, n)
+	for r := range got {
+		got[r] = inputs[r].Clone()
+		residuals[r] = tensor.New(260)
+	}
+	runSPMD(t, n, func(m transport.Mesh) error {
+		ml, err := NewMultiLevel(m, plan)
+		if err != nil {
+			return err
+		}
+		return ml.RunOpts(5, got[m.Rank()], OpAverage, Options{
+			Compression: tensor.F16,
+			Residual:    residuals[m.Rank()],
+		})
+	})
+	for r := range got {
+		if j, ok := withinTol(got[r], want, 1e-2); !ok {
+			t.Fatalf("rank %d elem %d: got %v, want %v", r, j, got[r][j], want[j])
+		}
+	}
+	for r := 1; r < n; r++ {
+		for j := range got[0] {
+			if math.Float64bits(got[r][j]) != math.Float64bits(got[0][j]) {
+				t.Fatalf("compressed multi-level: rank %d differs from rank 0", r)
+			}
+		}
+	}
+	// Only the top leader (rank 0) quantized from exact fp64; its residual
+	// carries the error, everyone else's stays zero.
+	var leaderMass, otherMass float64
+	for j := range residuals[0] {
+		leaderMass += math.Abs(residuals[0][j])
+	}
+	for r := 1; r < n; r++ {
+		for j := range residuals[r] {
+			otherMass += math.Abs(residuals[r][j])
+		}
+	}
+	if leaderMass == 0 {
+		t.Error("top leader residual empty under lossy compression")
+	}
+	if otherMass != 0 {
+		t.Errorf("non-leader residuals non-zero: %v", otherMass)
+	}
+}
+
+// TestMultiLevelCacheReuse: repeated calls with an identical plan reuse one
+// engine per endpoint (the satellite-1 contract — no per-call SubMesh
+// rebuilds), while a different plan replaces the entry.
+func TestMultiLevelCacheReuse(t *testing.T) {
+	n := 8
+	net, err := transport.NewLocalNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	planA, _ := topology.UniformPlan(n, []int{4})
+	planB, _ := topology.UniformPlan(n, []int{2})
+	m := net.Endpoints()[0]
+	a1, err := cachedMultiLevel(m, planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cachedMultiLevel(m, planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("identical plan rebuilt the engine")
+	}
+	// Same shape, fresh Plan value: the content key must still hit.
+	planA2, _ := topology.UniformPlan(n, []int{4})
+	a3, err := cachedMultiLevel(m, planA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a3 {
+		t.Error("equal-content plan missed the cache")
+	}
+	b1, err := cachedMultiLevel(m, planB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == a1 {
+		t.Error("different plan returned the cached engine")
+	}
+}
+
+// TestSelectLevelsPureAndSane: on a uniform fabric (no per-link
+// calibration) the level search stays flat — splitting only adds work when
+// every hop costs the same. On a fabric whose slow class has expensive hops
+// it must go multi-level, deterministically, and only ever pick structures
+// it prices below flat.
+func TestSelectLevelsPureAndSane(t *testing.T) {
+	uniform := DefaultCostModel()
+	for _, n := range []int{8, 64, 256, 1024} {
+		if got := uniform.SelectLevels(n, 1<<16, tensor.F64); got != nil {
+			t.Errorf("uniform SelectLevels(%d) = %v, want flat", n, got)
+		}
+	}
+
+	// Two link classes: fast intra-island hops, slow (high-latency,
+	// bandwidth-starved) inter-island hops.
+	het := DefaultCostModel()
+	het.Links = []AlgoCost{
+		{AlphaNs: 2000, BetaNsPerByte: 0.5},
+		{AlphaNs: 5e6, BetaNsPerByte: 5},
+	}
+	if got := het.SelectLevels(8, 1<<16, tensor.F64); got != nil {
+		t.Errorf("SelectLevels(8) = %v, want flat below threshold", got)
+	}
+	for _, n := range []int{64, 100, 256, 1000, 1024} {
+		branches := het.SelectLevels(n, 1<<16, tensor.F64)
+		again := het.SelectLevels(n, 1<<16, tensor.F64)
+		if len(branches) != len(again) {
+			t.Fatalf("SelectLevels(%d) not deterministic", n)
+		}
+		for i := range branches {
+			if branches[i] != again[i] {
+				t.Fatalf("SelectLevels(%d) not deterministic", n)
+			}
+		}
+		if branches == nil {
+			continue
+		}
+		plan, err := topology.UniformPlan(n, branches)
+		if err != nil {
+			t.Fatalf("SelectLevels(%d) = %v: %v", n, branches, err)
+		}
+		flat := het.PredictLevelsNs([]int{n}, 1<<16, tensor.F64)
+		leveled := het.PredictLevelsNs(plan.LevelSizes(), 1<<16, tensor.F64)
+		if leveled >= flat {
+			t.Errorf("SelectLevels(%d) = %v priced %v, flat %v — should only pick winners", n, branches, leveled, flat)
+		}
+	}
+	// At 1024 ranks on the skewed fabric the model must go multi-level: a
+	// flat schedule pays every critical-path hop at slow-class latency.
+	if branches := het.SelectLevels(1024, 1<<16, tensor.F64); branches == nil {
+		t.Error("SelectLevels(1024) stayed flat on a two-class fabric")
+	}
+}
+
+// TestAlgoMultiLevelDispatch: the explicit algorithm pin and the ParseAlgorithm
+// round trip.
+func TestAlgoMultiLevelDispatch(t *testing.T) {
+	if got, err := ParseAlgorithm("multilevel"); err != nil || got != AlgoMultiLevel {
+		t.Fatalf("ParseAlgorithm(multilevel) = %v, %v", got, err)
+	}
+	if AlgoMultiLevel.String() != "multilevel" {
+		t.Fatalf("String() = %q", AlgoMultiLevel.String())
+	}
+	rng := rand.New(rand.NewSource(47))
+	n := 9
+	inputs := randomInputs(rng, n, 130)
+	want := serialSum(inputs, OpAverage)
+	got := runAlgo(t, inputs, 7, OpAverage, AlgoMultiLevel)
+	assertMatchesSerial(t, "algo pin", got, want)
+}

@@ -1,0 +1,202 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Sparse top-k gradient exchange.
+//
+// Each rank keeps only the k largest-magnitude elements of its gradient and
+// ships them as an index+value frame (transport.Message.Indices); the
+// frames tree-reduce to rank 0 as a sorted index union with summed values,
+// and the finished sparse sum broadcasts back down the same binomial tree.
+// Every rank then materializes the identical dense vector — zero outside
+// the union, the reduced sums inside — so the bit-identity contract of the
+// dense collectives carries over unchanged (all ranks finish with the bytes
+// rank 0 built).
+//
+// Selected values travel as exact fp64: sparsity is the compression, and
+// the only information lost is the dropped (1 − k/dim) tail, which error
+// feedback recovers — TopKEF folds the unsent mass into the caller's
+// residual exactly the way RoundTripEF does for lossy dense dtypes.
+//
+// Wire volume per hop is ≤ min(n, 2)·k·12 bytes in practice (unions grow
+// with tree depth but overlap heavily for real gradients) versus 8·dim for
+// a dense hop, so at k ≪ dim the exchange is bandwidth-cheap even though
+// the binomial tree is not bandwidth-optimal.
+
+// topKAllReduce reduces v in place across all ranks, keeping each rank's
+// top-k contribution. All ranks must pass the same k, iter, op and vector
+// length; residual (optional) collects this rank's dropped mass.
+func topKAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, k int, residual tensor.Vector) error {
+	n := m.Size()
+	rank := m.Rank()
+	if k > len(v) {
+		k = len(v)
+	}
+
+	// Local selection. With a residual the unselected mass accumulates
+	// there (and v's unselected elements zero — harmless, v is rebuilt from
+	// the sparse sum below); without one the tail is simply dropped.
+	var idx []int32
+	if residual != nil {
+		idx = tensor.TopKEF(v, k, residual)
+	} else {
+		idx = tensor.TopKSelect(v, k)
+	}
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = v[j]
+	}
+
+	// Reduce phase: binomial tree to rank 0. A rank receives from peers
+	// above it until its lowest set bit's turn comes, then sends its merged
+	// frame downward once and is done.
+	for span := 1; span < n; span <<= 1 {
+		if rank&span != 0 {
+			if err := m.Send(rank-span, transport.Message{
+				Type:    transport.MsgReduce,
+				Iter:    iter,
+				Payload: vals,
+				Indices: idx,
+			}); err != nil {
+				return fmt.Errorf("sparse reduce send: %w", err)
+			}
+			break
+		}
+		peer := rank + span
+		if peer >= n {
+			continue
+		}
+		msg, err := m.Recv(peer)
+		if err != nil {
+			return fmt.Errorf("sparse reduce recv: %w", err)
+		}
+		pi, pv, err := checkSparse("sparse reduce", msg, transport.MsgReduce, iter, len(v))
+		if err != nil {
+			return err
+		}
+		idx, vals = mergeSparse(idx, vals, pi, pv)
+		transport.PutPayload(msg.Payload)
+	}
+
+	// Rank 0 holds the full union; the average divides by ALL ranks (a rank
+	// whose top-k missed an index contributed an implicit zero there).
+	if rank == 0 && op == OpAverage {
+		scale := 1 / float64(n)
+		for i := range vals {
+			vals[i] *= scale
+		}
+	}
+
+	// Broadcast phase: the finished (index, value) frame travels back down
+	// the binomial tree rooted at 0. Relays forward the exact bytes they
+	// received, so all ranks materialize identically.
+	if rank != 0 {
+		parent := rank &^ highestBit(rank)
+		msg, err := m.Recv(parent)
+		if err != nil {
+			return fmt.Errorf("sparse broadcast recv: %w", err)
+		}
+		idx, vals, err = checkSparse("sparse broadcast", msg, transport.MsgBroadcast, iter, len(v))
+		if err != nil {
+			return err
+		}
+		// The received payload is pooled; copy before releasing so the
+		// frame this rank forwards (and keeps) owns its storage.
+		vals = append([]float64(nil), vals...)
+		transport.PutPayload(msg.Payload)
+	}
+	span := highestBit(rank)
+	if rank == 0 {
+		span = 1
+	} else {
+		span <<= 1
+	}
+	for ; span < n; span <<= 1 {
+		child := rank + span
+		if child >= n {
+			break
+		}
+		if err := m.Send(child, transport.Message{
+			Type:    transport.MsgBroadcast,
+			Iter:    iter,
+			Payload: vals,
+			Indices: idx,
+		}); err != nil {
+			return fmt.Errorf("sparse broadcast send: %w", err)
+		}
+	}
+
+	// Materialize the dense result.
+	v.Zero()
+	for i, j := range idx {
+		v[j] = vals[i]
+	}
+	return nil
+}
+
+// checkSparse validates a sparse frame: the usual (type, iter) protocol
+// check plus the sparse invariants — indices present, strictly ascending,
+// and in range for a dim-length vector. A malformed frame is a protocol
+// violation (ErrProtocol), matching the dense collectives' error taxonomy.
+func checkSparse(op string, msg transport.Message, want transport.MsgType, iter int64, dim int) ([]int32, []float64, error) {
+	if err := checkMsg(op, msg, want, iter, msg.Chunk); err != nil {
+		transport.PutPayload(msg.Payload)
+		return nil, nil, err
+	}
+	if len(msg.Indices) != len(msg.Payload) {
+		transport.PutPayload(msg.Payload)
+		return nil, nil, fmt.Errorf("%s: %w: %d indices for %d values", op, ErrProtocol, len(msg.Indices), len(msg.Payload))
+	}
+	prev := int32(-1)
+	for _, j := range msg.Indices {
+		if j <= prev || int(j) >= dim {
+			transport.PutPayload(msg.Payload)
+			return nil, nil, fmt.Errorf("%s: %w: sparse index %d (dim %d, prev %d)", op, ErrProtocol, j, dim, prev)
+		}
+		prev = j
+	}
+	return msg.Indices, msg.Payload, nil
+}
+
+// mergeSparse unions two ascending-index sparse frames, summing values on
+// shared indices. The merge is a deterministic function of its inputs, so
+// the fixed binomial tree yields the same bytes on every run.
+func mergeSparse(ai []int32, av []float64, bi []int32, bv []float64) ([]int32, []float64) {
+	oi := make([]int32, 0, len(ai)+len(bi))
+	ov := make([]float64, 0, len(ai)+len(bi))
+	a, b := 0, 0
+	for a < len(ai) && b < len(bi) {
+		switch {
+		case ai[a] < bi[b]:
+			oi, ov = append(oi, ai[a]), append(ov, av[a])
+			a++
+		case bi[b] < ai[a]:
+			oi, ov = append(oi, bi[b]), append(ov, bv[b])
+			b++
+		default:
+			oi, ov = append(oi, ai[a]), append(ov, av[a]+bv[b])
+			a++
+			b++
+		}
+	}
+	for ; a < len(ai); a++ {
+		oi, ov = append(oi, ai[a]), append(ov, av[a])
+	}
+	for ; b < len(bi); b++ {
+		oi, ov = append(oi, bi[b]), append(ov, bv[b])
+	}
+	return oi, ov
+}
+
+// TopKAllReduce reduces v in place across all ranks of m, each rank
+// contributing only its k largest-magnitude elements; the result is the
+// sparse union's sum (OpAverage: divided by the full rank count). residual,
+// when non-nil, accumulates this rank's dropped mass for error feedback.
+func TopKAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, k int, residual tensor.Vector) error {
+	return AllReduceOpts(m, iter, v, op, Options{TopK: k, Residual: residual})
+}

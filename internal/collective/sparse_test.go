@@ -1,0 +1,223 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// sparseReference computes what the top-k exchange must produce: each
+// rank's top-k (deterministic tie-breaking) contributes its exact values,
+// everything else contributes zero, and OpAverage divides by the FULL rank
+// count.
+func sparseReference(inputs []tensor.Vector, k int, op ReduceOp) tensor.Vector {
+	dim := len(inputs[0])
+	out := tensor.New(dim)
+	for _, in := range inputs {
+		for _, j := range tensor.TopKSelect(in, k) {
+			out[j] += in[j]
+		}
+	}
+	if op == OpAverage {
+		out.Scale(1 / float64(len(inputs)))
+	}
+	return out
+}
+
+// TestTopKAllReduceMatchesReference sweeps rank counts (power-of-two and
+// not), k values (1, partial, full) and both ops.
+func TestTopKAllReduceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range []int{1, 2, 3, 5, 8, 9} {
+		for _, dim := range []int{1, 16, 97} {
+			for _, k := range []int{1, 4, dim, dim + 5} {
+				for _, op := range []ReduceOp{OpSum, OpAverage} {
+					inputs := randomInputs(rng, n, dim)
+					want := sparseReference(inputs, k, op)
+					got := make([]tensor.Vector, n)
+					for r := range got {
+						got[r] = inputs[r].Clone()
+					}
+					runSPMD(t, n, func(m transport.Mesh) error {
+						return TopKAllReduce(m, 3, got[m.Rank()], op, k, nil)
+					})
+					for r := range got {
+						if j, ok := withinTol(got[r], want, 1e-12); !ok {
+							t.Fatalf("n=%d dim=%d k=%d op=%v rank=%d elem %d: got %v, want %v",
+								n, dim, k, op, r, j, got[r][j], want[j])
+						}
+					}
+					// Bit-identity: the root's broadcast bytes are the result.
+					for r := 1; r < n; r++ {
+						for j := range got[0] {
+							if math.Float64bits(got[r][j]) != math.Float64bits(got[0][j]) {
+								t.Fatalf("n=%d k=%d: rank %d not bit-identical", n, k, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKAllReduceErrorFeedback: the residual must hold exactly the mass
+// each rank did NOT ship — sum(shipped) + residual == original vector.
+func TestTopKAllReduceErrorFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const n, dim, k = 4, 64, 8
+	inputs := randomInputs(rng, n, dim)
+	got := make([]tensor.Vector, n)
+	residuals := make([]tensor.Vector, n)
+	for r := range got {
+		got[r] = inputs[r].Clone()
+		residuals[r] = tensor.New(dim)
+	}
+	runSPMD(t, n, func(m transport.Mesh) error {
+		return TopKAllReduce(m, 5, got[m.Rank()], OpSum, k, residuals[m.Rank()])
+	})
+	for r := 0; r < n; r++ {
+		sel := tensor.TopKSelect(inputs[r], k)
+		isSel := make(map[int32]bool, len(sel))
+		for _, j := range sel {
+			isSel[j] = true
+		}
+		for j := range inputs[r] {
+			if isSel[int32(j)] {
+				if residuals[r][j] != 0 {
+					t.Fatalf("rank %d selected elem %d leaked into residual", r, j)
+				}
+			} else if residuals[r][j] != inputs[r][j] {
+				t.Fatalf("rank %d dropped elem %d: residual %v, want %v", r, j, residuals[r][j], inputs[r][j])
+			}
+		}
+	}
+}
+
+// TestTopKAllReduceOptionValidation: the option surface rejects nonsense
+// combinations identically on every rank, before any traffic.
+func TestTopKAllReduceOptionValidation(t *testing.T) {
+	runSPMD(t, 2, func(m transport.Mesh) error {
+		v := tensor.New(8)
+		if err := AllReduceOpts(m, 0, v, OpSum, Options{TopK: -1}); err == nil {
+			t.Error("negative k accepted")
+		}
+		if err := AllReduceOpts(m, 0, v, OpSum, Options{TopK: 2, Algorithm: AlgoRing}); err == nil {
+			t.Error("top-k with pinned ring accepted")
+		}
+		if err := AllReduceOpts(m, 0, v, OpSum, Options{TopK: 2, Compression: tensor.F16}); err == nil {
+			t.Error("top-k with lossy compression accepted")
+		}
+		return nil
+	})
+}
+
+// TestMergeSparse: the union kernel — disjoint, overlapping, empty sides.
+func TestMergeSparse(t *testing.T) {
+	ai, av := []int32{1, 5, 9}, []float64{1, 5, 9}
+	bi, bv := []int32{0, 5, 10}, []float64{10, 50, 100}
+	oi, ov := mergeSparse(ai, av, bi, bv)
+	wantI := []int32{0, 1, 5, 9, 10}
+	wantV := []float64{10, 1, 55, 9, 100}
+	if len(oi) != len(wantI) {
+		t.Fatalf("merged %v, want %v", oi, wantI)
+	}
+	for i := range wantI {
+		if oi[i] != wantI[i] || ov[i] != wantV[i] {
+			t.Fatalf("merged (%v, %v), want (%v, %v)", oi, ov, wantI, wantV)
+		}
+	}
+	if oi, ov := mergeSparse(nil, nil, bi, bv); len(oi) != 3 || ov[0] != 10 {
+		t.Fatalf("empty-left merge = (%v, %v)", oi, ov)
+	}
+	if oi, _ := mergeSparse(ai, av, nil, nil); len(oi) != 3 {
+		t.Fatalf("empty-right merge = %v", oi)
+	}
+}
+
+// TestTopKAllReduceGarbageFrames: a peer shipping malformed sparse frames
+// (unsorted, duplicate, out-of-range indices) must trip ErrProtocol on the
+// receiver rather than corrupting its vector.
+func TestTopKAllReduceGarbageFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		idx  []int32
+		vals []float64
+	}{
+		{"unsorted", []int32{5, 2}, []float64{1, 2}},
+		{"duplicate", []int32{3, 3}, []float64{1, 2}},
+		{"out of range", []int32{3, 99}, []float64{1, 2}},
+		{"negative", []int32{-1, 2}, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := transport.NewLocalNetwork(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = net.Close() }()
+			eps := net.Endpoints()
+			done := make(chan error, 1)
+			go func() {
+				done <- topKAllReduce(eps[0], 7, tensor.New(8), OpSum, 2, nil)
+			}()
+			// Rank 1 plays the byzantine peer: raw malformed reduce frame.
+			if err := eps[1].Send(0, transport.Message{
+				Type:    transport.MsgReduce,
+				Iter:    7,
+				Payload: tc.vals,
+				Indices: tc.idx,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err == nil {
+				t.Fatal("garbage frame accepted")
+			}
+		})
+	}
+}
+
+// TestTopKDeterministicUnderTies: equal-magnitude elements across ranks
+// must resolve identically on every run — rerun the same exchange and
+// require byte-equal outcomes.
+func TestTopKDeterministicUnderTies(t *testing.T) {
+	const n, dim, k = 4, 32, 4
+	inputs := make([]tensor.Vector, n)
+	for r := range inputs {
+		inputs[r] = tensor.New(dim)
+		for j := range inputs[r] {
+			inputs[r][j] = float64((j % 3) - 1) // many exact ties
+		}
+	}
+	var first []tensor.Vector
+	for trial := 0; trial < 3; trial++ {
+		got := make([]tensor.Vector, n)
+		for r := range got {
+			got[r] = inputs[r].Clone()
+		}
+		runSPMD(t, n, func(m transport.Mesh) error {
+			return TopKAllReduce(m, int64(trial), got[m.Rank()], OpAverage, k, nil)
+		})
+		if first == nil {
+			first = got
+			continue
+		}
+		for r := range got {
+			for j := range got[r] {
+				if math.Float64bits(got[r][j]) != math.Float64bits(first[r][j]) {
+					t.Fatalf("trial %d rank %d elem %d differs across runs", trial, r, j)
+				}
+			}
+		}
+	}
+	// And the selection itself is the documented order: sorted ascending.
+	idx := tensor.TopKSelect(inputs[0], k)
+	if !sort.SliceIsSorted(idx, func(a, b int) bool { return idx[a] < idx[b] }) {
+		t.Fatalf("selection not ascending: %v", idx)
+	}
+}

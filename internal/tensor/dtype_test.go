@@ -127,9 +127,9 @@ func TestF16MatchesReference(t *testing.T) {
 		{math.Copysign(0, -1), 0x8000},
 		{1, 0x3c00},
 		{-2, 0xc000},
-		{65504, 0x7bff},             // largest finite half
-		{65520, 0x7c00},             // tie at the overflow boundary → even → Inf
-		{65518, 0x7bff},             // below the tie → max finite
+		{65504, 0x7bff}, // largest finite half
+		{65520, 0x7c00}, // tie at the overflow boundary → even → Inf
+		{65518, 0x7bff}, // below the tie → max finite
 		{math.Inf(1), 0x7c00},
 		{math.Inf(-1), 0xfc00},
 		{math.Ldexp(1, -14), 0x0400}, // smallest normal

@@ -1,0 +1,167 @@
+package tensor
+
+import "math"
+
+// Top-k sparsification: keep the k largest-magnitude elements of a vector
+// and drop the rest. This is the selection kernel behind the collective
+// layer's sparse gradient exchange; together with error feedback (the
+// dropped mass accumulates in a residual and re-enters the next step's
+// gradient) it preserves convergence at aggressive sparsity.
+//
+// Determinism contract: the selection is a pure function of the input
+// values — ties in |v| break toward the LOWER index — and the returned
+// index list is sorted ascending. Every SPMD rank selecting over identical
+// bytes therefore produces identical (index, value) lists, which is what
+// keeps sparse collectives bit-identical across ranks.
+
+// TopKSelect returns the indices of the k largest-magnitude elements of v,
+// sorted ascending. Ties in magnitude break toward the lower index. k ≤ 0
+// returns nil; k ≥ len(v) returns every index. NaN magnitudes rank below
+// every finite magnitude (they never displace a finite element).
+func TopKSelect(v Vector, k int) []int32 {
+	if k <= 0 || len(v) == 0 {
+		return nil
+	}
+	if k >= len(v) {
+		out := make([]int32, len(v))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	// Bounded min-heap of the current top k: the root is the weakest
+	// survivor, displaced whenever a stronger element arrives. O(n log k)
+	// and no allocation beyond the output.
+	type entry struct {
+		abs float64
+		idx int32
+	}
+	// stronger reports whether a beats b under the deterministic order
+	// (larger magnitude wins; equal magnitude → lower index wins).
+	stronger := func(aAbs float64, aIdx int32, bAbs float64, bIdx int32) bool {
+		if aAbs != bAbs {
+			return aAbs > bAbs
+		}
+		return aIdx < bIdx
+	}
+	heap := make([]entry, 0, k)
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			weakest := i
+			if l < len(heap) && stronger(heap[weakest].abs, heap[weakest].idx, heap[l].abs, heap[l].idx) {
+				weakest = l
+			}
+			if r < len(heap) && stronger(heap[weakest].abs, heap[weakest].idx, heap[r].abs, heap[r].idx) {
+				weakest = r
+			}
+			if weakest == i {
+				return
+			}
+			heap[i], heap[weakest] = heap[weakest], heap[i]
+			i = weakest
+		}
+	}
+	abs := func(x float64) float64 {
+		a := math.Abs(x)
+		if a != a { // NaN ranks below everything
+			return math.Inf(-1)
+		}
+		return a
+	}
+	for i, x := range v {
+		a := abs(x)
+		if len(heap) < k {
+			heap = append(heap, entry{a, int32(i)})
+			// Sift up.
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if stronger(heap[p].abs, heap[p].idx, heap[c].abs, heap[c].idx) {
+					heap[p], heap[c] = heap[c], heap[p]
+					c = p
+					continue
+				}
+				break
+			}
+			continue
+		}
+		if stronger(a, int32(i), heap[0].abs, heap[0].idx) {
+			heap[0] = entry{a, int32(i)}
+			down(0)
+		}
+	}
+	out := make([]int32, k)
+	for i, e := range heap {
+		out[i] = e.idx
+	}
+	// Heap order is arbitrary; the wire contract wants ascending indices.
+	sortInt32(out)
+	return out
+}
+
+// TopKEF sparsifies v in place to its top-k elements with error feedback:
+// elements outside the selection are zeroed and their values accumulate
+// into residual (residual must be at least len(v); selected elements ship
+// exactly, so they contribute no error). Returns the selected indices,
+// sorted ascending. This mirrors RoundTripEF's contract for dense lossy
+// dtypes: fold residual into the next step's gradient to recover the
+// dropped mass.
+func TopKEF(v Vector, k int, residual Vector) []int32 {
+	idx := TopKSelect(v, k)
+	if len(idx) == len(v) {
+		return idx
+	}
+	residual = residual[:len(v)]
+	next := 0
+	for i := range v {
+		if next < len(idx) && int32(i) == idx[next] {
+			next++
+			continue
+		}
+		residual[i] += v[i]
+		v[i] = 0
+	}
+	return idx
+}
+
+// sortInt32 sorts s ascending (insertion sort below 32 elements, otherwise
+// a simple bottom-up heapsort — no allocation either way, and k is small on
+// the sparse hot path).
+func sortInt32(s []int32) {
+	if len(s) < 32 {
+		for i := 1; i < len(s); i++ {
+			x := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > x {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = x
+		}
+		return
+	}
+	down := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < n && s[l] > s[big] {
+				big = l
+			}
+			if r < n && s[r] > s[big] {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			s[i], s[big] = s[big], s[i]
+			i = big
+		}
+	}
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		down(i, len(s))
+	}
+	for n := len(s) - 1; n > 0; n-- {
+		s[0], s[n] = s[n], s[0]
+		down(0, n)
+	}
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTopKSelectBasic(t *testing.T) {
+	v := Vector{3, -7, 0.5, 7, -1}
+	got := TopKSelect(v, 2)
+	// |−7| == |7|: the tie breaks toward index 1.
+	want := []int32{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("TopKSelect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopKSelect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKSelectEdges(t *testing.T) {
+	if got := TopKSelect(Vector{1, 2}, 0); got != nil {
+		t.Errorf("k=0 = %v, want nil", got)
+	}
+	if got := TopKSelect(nil, 3); got != nil {
+		t.Errorf("empty vector = %v, want nil", got)
+	}
+	got := TopKSelect(Vector{5, -2, 3}, 10)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("k>len = %v, want all indices", got)
+	}
+}
+
+func TestTopKSelectNaN(t *testing.T) {
+	v := Vector{math.NaN(), 1e-30, math.NaN(), 2}
+	got := TopKSelect(v, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("NaN must lose to finite magnitudes: got %v", got)
+	}
+}
+
+// TestTopKSelectMatchesSort cross-checks the heap selection against a full
+// sort under the same deterministic order, on random inputs with forced
+// magnitude ties.
+func TestTopKSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		v := make(Vector, n)
+		for i := range v {
+			// Small value alphabet → plenty of |v| ties.
+			v[i] = float64(rng.Intn(7)-3) * 0.5
+		}
+		k := rng.Intn(n + 2)
+		got := TopKSelect(v, k)
+
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			aa, bb := math.Abs(v[idx[a]]), math.Abs(v[idx[b]])
+			if aa != bb {
+				return aa > bb
+			}
+			return idx[a] < idx[b]
+		})
+		kk := k
+		if kk > n {
+			kk = n
+		}
+		want := append([]int32(nil), idx[:kk]...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v (v=%v k=%d)", trial, got, want, v, k)
+			}
+		}
+		// Ascending order is part of the contract.
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("trial %d: indices not strictly ascending: %v", trial, got)
+			}
+		}
+	}
+}
+
+func TestTopKEF(t *testing.T) {
+	v := Vector{3, -7, 0.5, 7, -1}
+	orig := v.Clone()
+	res := New(len(v))
+	res[2] = 10 // pre-existing residual must accumulate, not reset
+	idx := TopKEF(v, 2, res)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("TopKEF indices = %v", idx)
+	}
+	// Selected elements ship exactly; the rest moved to the residual.
+	want := Vector{0, -7, 0, 7, 0}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+	wantRes := Vector{3, 0, 10.5, 0, -1}
+	for i := range res {
+		if res[i] != wantRes[i] {
+			t.Errorf("res[%d] = %v, want %v", i, res[i], wantRes[i])
+		}
+	}
+	// Conservation: v + res == orig + initial residual.
+	for i := range v {
+		init := 0.0
+		if i == 2 {
+			init = 10
+		}
+		if v[i]+res[i] != orig[i]+init {
+			t.Errorf("mass not conserved at %d", i)
+		}
+	}
+}
+
+func TestTopKEFFullK(t *testing.T) {
+	v := Vector{1, 2, 3}
+	res := New(3)
+	idx := TopKEF(v, 5, res)
+	if len(idx) != 3 {
+		t.Fatalf("full-k indices = %v", idx)
+	}
+	for i, x := range v {
+		if x != float64(i+1) {
+			t.Errorf("v mutated under full k: %v", v)
+		}
+		if res[i] != 0 {
+			t.Errorf("residual dirtied under full k: %v", res)
+		}
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 500} {
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(50) - 25)
+		}
+		want := append([]int32(nil), s...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		sortInt32(s)
+		for i := range want {
+			if s[i] != want[i] {
+				t.Fatalf("n=%d: sortInt32 = %v, want %v", n, s, want)
+			}
+		}
+	}
+}

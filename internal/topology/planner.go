@@ -1,0 +1,281 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multi-level reduction plans.
+//
+// A Plan generalizes the two-level hierarchy (groups + leader exchange) to
+// an arbitrary level tree. Level 0 partitions all ranks into groups; each
+// group's first member is its leader; level l ≥ 1 partitions the leaders of
+// level l−1. The topmost level is a single group, whose members end a
+// reduction holding the global result. 1024 ranks might plan as 32 groups
+// of 32 with a single 32-leader top level; a fabric with three distinct
+// link classes (NVLink / PCIe / Ethernet, say) plans three levels.
+
+// maxPlanLevels bounds plan depth; real fabrics have a handful of link
+// classes, so a deeper plan means degenerate input.
+const maxPlanLevels = 8
+
+// linkClassRatio is the bandwidth ratio that separates link classes: links
+// within this factor of the fastest observed link belong to the same class.
+const linkClassRatio = 4.0
+
+// Plan is a multi-level reduction tree over Ranks ranks.
+type Plan struct {
+	// Ranks is the total rank count the plan covers.
+	Ranks int
+	// Levels[0] partitions ranks 0..Ranks-1; Levels[l] partitions the
+	// leaders (first members) of Levels[l-1]'s groups. The last level is a
+	// single group.
+	Levels [][]Group
+}
+
+// Leaders returns the leaders (first members) of a level's groups.
+func leadersOf(groups []Group) []int {
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = g.Members[0]
+	}
+	return out
+}
+
+// Validate checks the plan's structural invariants: every level partitions
+// exactly the set it must (level 0: all ranks; level l: the previous
+// level's leaders), groups are non-empty with distinct members, and the top
+// level is a single group.
+func (p *Plan) Validate() error {
+	if p.Ranks <= 0 {
+		return fmt.Errorf("topology: plan over %d ranks", p.Ranks)
+	}
+	if len(p.Levels) == 0 {
+		return fmt.Errorf("topology: plan has no levels")
+	}
+	if len(p.Levels) > maxPlanLevels {
+		return fmt.Errorf("topology: plan depth %d exceeds %d", len(p.Levels), maxPlanLevels)
+	}
+	want := make([]int, p.Ranks)
+	for i := range want {
+		want[i] = i
+	}
+	for l, level := range p.Levels {
+		if len(level) == 0 {
+			return fmt.Errorf("topology: plan level %d empty", l)
+		}
+		seen := make(map[int]bool, len(want))
+		for _, r := range want {
+			seen[r] = false
+		}
+		covered := 0
+		for gi, g := range level {
+			if len(g.Members) == 0 {
+				return fmt.Errorf("topology: plan level %d group %d empty", l, gi)
+			}
+			for _, r := range g.Members {
+				was, ok := seen[r]
+				if !ok {
+					return fmt.Errorf("topology: plan level %d includes rank %d, not a level participant", l, r)
+				}
+				if was {
+					return fmt.Errorf("topology: plan level %d rank %d in two groups", l, r)
+				}
+				seen[r] = true
+				covered++
+			}
+		}
+		if covered != len(want) {
+			return fmt.Errorf("topology: plan level %d covers %d of %d participants", l, covered, len(want))
+		}
+		if l == len(p.Levels)-1 {
+			if len(level) != 1 {
+				return fmt.Errorf("topology: top level has %d groups, want 1", len(level))
+			}
+		}
+		want = leadersOf(level)
+	}
+	return nil
+}
+
+// Participants returns the ranks that take part in level l: all ranks for
+// level 0, the previous level's leaders otherwise. The plan must be valid.
+func (p *Plan) Participants(l int) []int {
+	if l == 0 {
+		out := make([]int, p.Ranks)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return leadersOf(p.Levels[l-1])
+}
+
+// LevelSizes returns the largest group size at each level — the shape the
+// cost model prices.
+func (p *Plan) LevelSizes() []int {
+	out := make([]int, len(p.Levels))
+	for l, level := range p.Levels {
+		for _, g := range level {
+			if g.Size() > out[l] {
+				out[l] = g.Size()
+			}
+		}
+	}
+	return out
+}
+
+// String renders the plan shape compactly, e.g. "32x32" for 1024 ranks in
+// 32 groups of 32 with a 32-leader top level.
+func (p *Plan) String() string {
+	sizes := p.LevelSizes()
+	parts := make([]string, len(sizes))
+	for i, s := range sizes {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, "x")
+}
+
+// UniformPlan builds the plan that splits n ranks into contiguous groups of
+// ≈branches[0] members, the leaders into groups of ≈branches[1], and so on;
+// whatever participants remain after the last branching factor form the
+// single top group. Group sizes at each level differ by at most one (the
+// remainder spreads over the leading groups), so non-power-of-two rank
+// counts plan cleanly. A nil/empty branches yields the flat single-group
+// plan.
+func UniformPlan(n int, branches []int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: plan over %d ranks", n)
+	}
+	p := &Plan{Ranks: n}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i
+	}
+	for _, b := range branches {
+		if len(parts) <= 1 || b >= len(parts) || len(p.Levels) >= maxPlanLevels-1 {
+			break
+		}
+		if b < 2 {
+			return nil, fmt.Errorf("topology: branching factor %d", b)
+		}
+		nGroups := (len(parts) + b - 1) / b
+		level := make([]Group, 0, nGroups)
+		base, rem := len(parts)/nGroups, len(parts)%nGroups
+		at := 0
+		for g := 0; g < nGroups; g++ {
+			size := base
+			if g < rem {
+				size++
+			}
+			level = append(level, Group{Members: append([]int(nil), parts[at:at+size]...)})
+			at += size
+		}
+		p.Levels = append(p.Levels, level)
+		parts = leadersOf(level)
+	}
+	p.Levels = append(p.Levels, []Group{{Members: parts}})
+	return p, p.Validate()
+}
+
+// FlatPlan is the single-level plan (one group of all ranks).
+func FlatPlan(n int) (*Plan, error) {
+	return UniformPlan(n, nil)
+}
+
+// PlanFromLinks builds a topology-aware plan from a bandwidth matrix
+// (bytes/sec, 0 = unobserved; see LinkObservations.BandwidthMatrix). Each
+// level groups its participants by link class: ranks connected through
+// links within linkClassRatio of the fastest remaining link share a group,
+// and the leaders recurse over the slower classes. A fabric with uniform
+// (or unobserved) links plans flat; two link classes yield the classic
+// two-level hierarchy; a skewed fabric plans deeper.
+func PlanFromLinks(bw [][]float64) (*Plan, error) {
+	n := len(bw)
+	if n == 0 {
+		return nil, ErrNoWorkers
+	}
+	for i, row := range bw {
+		if len(row) != n {
+			return nil, fmt.Errorf("topology: bandwidth row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	p := &Plan{Ranks: n}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i
+	}
+	for len(parts) > 1 && len(p.Levels) < maxPlanLevels-1 {
+		comps := fastComponents(parts, bw)
+		if len(comps) <= 1 {
+			break
+		}
+		p.Levels = append(p.Levels, comps)
+		parts = leadersOf(comps)
+	}
+	p.Levels = append(p.Levels, []Group{{Members: parts}})
+	return p, p.Validate()
+}
+
+// fastComponents splits the participants into connected components of the
+// fastest link class: pairs whose symmetric bandwidth (the slower of the
+// two directions) is within linkClassRatio of the fastest observed pair.
+// With no observed links, or a single class spanning everything, it returns
+// one component.
+func fastComponents(parts []int, bw [][]float64) []Group {
+	speed := func(a, b int) float64 {
+		s := bw[a][b]
+		if t := bw[b][a]; t < s {
+			s = t
+		}
+		return s
+	}
+	var fastest float64
+	for i, a := range parts {
+		for _, b := range parts[i+1:] {
+			if s := speed(a, b); s > fastest {
+				fastest = s
+			}
+		}
+	}
+	if fastest <= 0 {
+		return []Group{{Members: append([]int(nil), parts...)}}
+	}
+	threshold := fastest / linkClassRatio
+
+	// Union-find over the participant positions.
+	parent := make([]int, len(parts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, a := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if speed(a, parts[j]) >= threshold {
+				ra, rb := find(i), find(j)
+				if ra != rb {
+					parent[rb] = ra
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i, r := range parts {
+		byRoot[find(i)] = append(byRoot[find(i)], r)
+	}
+	groups := make([]Group, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		groups = append(groups, Group{Members: members})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Members[0] < groups[j].Members[0] })
+	return groups
+}

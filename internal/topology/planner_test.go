@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"testing"
+)
+
+func checkPartition(t *testing.T, p *Plan) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("plan %v invalid: %v", p.Levels, err)
+	}
+}
+
+func TestUniformPlanShapes(t *testing.T) {
+	cases := []struct {
+		n        int
+		branches []int
+		want     string
+		levels   int
+	}{
+		{1, nil, "1", 1},
+		{8, nil, "8", 1},
+		{8, []int{4}, "4x2", 2},
+		{16, []int{4, 2}, "4x2x2", 3},
+		{1024, []int{32}, "32x32", 2},
+		// Non-power-of-two: remainder spreads, sizes differ by ≤1.
+		{10, []int{3}, "3x4", 2},
+		{7, []int{2}, "2x4", 2},
+		// Branching factor ≥ n collapses to flat.
+		{6, []int{8}, "6", 1},
+	}
+	for _, c := range cases {
+		p, err := UniformPlan(c.n, c.branches)
+		if err != nil {
+			t.Fatalf("UniformPlan(%d, %v): %v", c.n, c.branches, err)
+		}
+		checkPartition(t, p)
+		if got := p.String(); got != c.want {
+			t.Errorf("UniformPlan(%d, %v) = %s, want %s", c.n, c.branches, got, c.want)
+		}
+		if len(p.Levels) != c.levels {
+			t.Errorf("UniformPlan(%d, %v) has %d levels, want %d", c.n, c.branches, len(p.Levels), c.levels)
+		}
+	}
+}
+
+func TestUniformPlanBalance(t *testing.T) {
+	// 100 ranks in groups of 8 → 13 groups, sizes 7 or 8.
+	p, err := UniformPlan(100, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, p)
+	if len(p.Levels[0]) != 13 {
+		t.Fatalf("level 0 has %d groups, want 13", len(p.Levels[0]))
+	}
+	for gi, g := range p.Levels[0] {
+		if g.Size() < 7 || g.Size() > 8 {
+			t.Errorf("group %d has %d members, want 7..8", gi, g.Size())
+		}
+	}
+}
+
+func TestUniformPlanRejectsBadBranch(t *testing.T) {
+	if _, err := UniformPlan(8, []int{1}); err == nil {
+		t.Error("branching factor 1 should error")
+	}
+	if _, err := UniformPlan(0, nil); err == nil {
+		t.Error("zero ranks should error")
+	}
+}
+
+func TestPlanValidateRejectsBadPlans(t *testing.T) {
+	bad := []*Plan{
+		{Ranks: 4, Levels: [][]Group{}},                                                                           // no levels
+		{Ranks: 4, Levels: [][]Group{{{Members: []int{0, 1}}}}},                                                   // level 0 misses ranks
+		{Ranks: 2, Levels: [][]Group{{{Members: []int{0, 1}}, {Members: []int{1}}}}},                              // duplicate
+		{Ranks: 2, Levels: [][]Group{{{Members: []int{0}}, {Members: []int{1}}}}},                                 // top level not single
+		{Ranks: 2, Levels: [][]Group{{{Members: []int{0, 2}}}}},                                                   // out of range
+		{Ranks: 4, Levels: [][]Group{{{Members: []int{0, 1}}, {Members: []int{2, 3}}}, {{Members: []int{0, 1}}}}}, // level 1 over non-leaders
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p.Levels)
+		}
+	}
+}
+
+func TestPlanParticipants(t *testing.T) {
+	p, err := UniformPlan(16, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := p.Participants(0)
+	if len(l0) != 16 {
+		t.Fatalf("level 0 participants = %v", l0)
+	}
+	l1 := p.Participants(1)
+	want1 := []int{0, 4, 8, 12}
+	if len(l1) != len(want1) {
+		t.Fatalf("level 1 participants = %v, want %v", l1, want1)
+	}
+	for i := range want1 {
+		if l1[i] != want1[i] {
+			t.Fatalf("level 1 participants = %v, want %v", l1, want1)
+		}
+	}
+	l2 := p.Participants(2)
+	want2 := []int{0, 8}
+	for i := range want2 {
+		if l2[i] != want2[i] {
+			t.Fatalf("level 2 participants = %v, want %v", l2, want2)
+		}
+	}
+}
+
+// uniformBW builds a symmetric bandwidth matrix where rank pairs in the
+// same block of `blockSize` see `fast` bytes/sec and cross-block pairs see
+// `slow`.
+func blockBW(n, blockSize int, fast, slow float64) [][]float64 {
+	bw := make([][]float64, n)
+	for i := range bw {
+		bw[i] = make([]float64, n)
+		for j := range bw[i] {
+			if i == j {
+				continue
+			}
+			if i/blockSize == j/blockSize {
+				bw[i][j] = fast
+			} else {
+				bw[i][j] = slow
+			}
+		}
+	}
+	return bw
+}
+
+func TestPlanFromLinksUniformIsFlat(t *testing.T) {
+	bw := blockBW(8, 8, 1e9, 1e9)
+	p, err := PlanFromLinks(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, p)
+	if len(p.Levels) != 1 || len(p.Levels[0]) != 1 {
+		t.Fatalf("uniform fabric planned %v, want flat", p)
+	}
+}
+
+func TestPlanFromLinksUnobservedIsFlat(t *testing.T) {
+	p, err := PlanFromLinks(blockBW(6, 6, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Levels) != 1 {
+		t.Fatalf("unobserved fabric planned %v, want flat", p)
+	}
+}
+
+func TestPlanFromLinksTwoClasses(t *testing.T) {
+	// 12 ranks, 3 machines of 4: intra 10 GB/s, inter 1 GB/s.
+	p, err := PlanFromLinks(blockBW(12, 4, 10e9, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, p)
+	if len(p.Levels) != 2 {
+		t.Fatalf("two-class fabric planned %d levels (%v), want 2", len(p.Levels), p)
+	}
+	if len(p.Levels[0]) != 3 {
+		t.Fatalf("level 0 = %d groups, want 3", len(p.Levels[0]))
+	}
+	for gi, g := range p.Levels[0] {
+		if g.Size() != 4 {
+			t.Errorf("group %d size %d, want 4", gi, g.Size())
+		}
+		for _, r := range g.Members {
+			if r/4 != gi {
+				t.Errorf("rank %d landed in group %d", r, gi)
+			}
+		}
+	}
+	top := p.Levels[1][0].Members
+	if len(top) != 3 || top[0] != 0 || top[1] != 4 || top[2] != 8 {
+		t.Errorf("top level members = %v, want [0 4 8]", top)
+	}
+}
+
+func TestPlanFromLinksThreeClasses(t *testing.T) {
+	// 8 ranks: pairs share 100 GB/s, quads 10 GB/s, the rest 1 GB/s —
+	// a skewed topology that should plan 3 levels.
+	n := 8
+	bw := make([][]float64, n)
+	for i := range bw {
+		bw[i] = make([]float64, n)
+		for j := range bw[i] {
+			if i == j {
+				continue
+			}
+			switch {
+			case i/2 == j/2:
+				bw[i][j] = 100e9
+			case i/4 == j/4:
+				bw[i][j] = 10e9
+			default:
+				bw[i][j] = 1e9
+			}
+		}
+	}
+	p, err := PlanFromLinks(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, p)
+	if len(p.Levels) != 3 {
+		t.Fatalf("three-class fabric planned %d levels (%v), want 3", len(p.Levels), p)
+	}
+	if got := p.String(); got != "2x2x2" {
+		t.Errorf("plan shape = %s, want 2x2x2", got)
+	}
+}
+
+func TestPlanFromLinksAsymmetricLink(t *testing.T) {
+	// The slower direction governs: one fast-only direction must not merge
+	// a pair into the fast class.
+	bw := blockBW(4, 2, 10e9, 1e9)
+	bw[0][2] = 10e9 // 2→0 stays slow
+	p, err := PlanFromLinks(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Levels) != 2 || len(p.Levels[0]) != 2 {
+		t.Fatalf("asymmetric fast direction merged groups: %v", p)
+	}
+}

@@ -125,15 +125,20 @@ func runBSP(cfg Config) (*Result, error) {
 			}
 		}
 		sum.Scale(1 / float64(cfg.Workers))
-		// Compressed wire: quantize the averaged gradient with error
-		// feedback — the residual carries the quantization error into the
-		// next round's average instead of discarding it.
+		// Lossy wire: sparsify (top-k) or quantize (narrow dtype) the
+		// averaged gradient with error feedback — the residual carries the
+		// dropped or rounded mass into the next round's average instead of
+		// discarding it. The two modes are mutually exclusive (validate()).
 		if residual != nil {
 			if err := sum.Add(residual); err != nil {
 				return nil, err
 			}
 			residual.Zero()
-			tensor.RoundTripEF(cfg.Compression, sum, residual)
+			if cfg.TopK > 0 {
+				tensor.TopKEF(sum, cfg.TopK, residual)
+			} else {
+				tensor.RoundTripEF(cfg.Compression, sum, residual)
+			}
 		}
 		if _, err := optim.Step(params, sum, 1); err != nil {
 			return nil, err

@@ -512,15 +512,19 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 	}
 
 	if contributors > 0 {
-		// Compressed wire: the collective quantizes the summed gradient
-		// (the reduction itself runs fp64 — see internal/collective), and
-		// error feedback folds the previous round's quantization residual
-		// back into the sum before it is re-quantized, so the error is
-		// corrected rather than compounded.
+		// Lossy wire: the collective quantizes (narrow dtype) or
+		// sparsifies (top-k) the summed gradient — the reduction itself
+		// runs fp64, see internal/collective — and error feedback folds
+		// the previous round's residual back into the sum before it is
+		// re-compressed, so the error is corrected rather than compounded.
 		if s.residual != nil {
 			_ = sum.Add(s.residual)
 			s.residual.Zero()
-			tensor.RoundTripEF(s.cfg.Compression, sum, s.residual)
+			if s.cfg.TopK > 0 {
+				tensor.TopKEF(sum, s.cfg.TopK, s.residual)
+			} else {
+				tensor.RoundTripEF(s.cfg.Compression, sum, s.residual)
+			}
 		}
 		sum.Scale(1 / float64(contributors))
 		scale, err := opt.LinearScale(contributors, s.n)

@@ -1,0 +1,79 @@
+package trainsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// topkConfig is quadConfig with an exact fp64 wire and sparse top-k
+// synchronization enabled.
+func topkConfig(t *testing.T, strategy Strategy, k int) Config {
+	cfg := quadConfig(t, strategy, tensor.F64)
+	cfg.TopK = k
+	return cfg
+}
+
+// TestTopKConvergenceMatchesF64 is the statistical guard for sparse
+// synchronization (the ISSUE's acceptance gate): shipping only a quarter of
+// the 20-dim quadratic's gradient per round, with the dropped mass carried
+// by error feedback, must land within 10% of the dense fp64 final loss for
+// both RNA and the BSP baseline. Without the residual carry this sparsity
+// visibly stalls the quadratic.
+func TestTopKConvergenceMatchesF64(t *testing.T) {
+	for _, strategy := range []Strategy{RNA, Horovod} {
+		base, err := Run(quadConfig(t, strategy, tensor.F64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(topkConfig(t, strategy, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 0.10*math.Abs(base.FinalLoss) + 1e-3
+		if math.Abs(got.FinalLoss-base.FinalLoss) > tol {
+			t.Errorf("%v top-k: final loss %v, fp64 baseline %v (tol %v)",
+				strategy, got.FinalLoss, base.FinalLoss, tol)
+		}
+	}
+}
+
+// TestTopKRunFasterOnSlowFabric: the priced payoff — on a bandwidth-bound
+// fabric the sparse run's virtual clock must beat the dense run's for the
+// same iteration count.
+func TestTopKRunFasterOnSlowFabric(t *testing.T) {
+	build := func(k int) Config {
+		cfg := topkConfig(t, Horovod, k)
+		cfg.Comm = workload.TenGbEComm()
+		return cfg
+	}
+	base, err := Run(build(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Run(build(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.VirtualTime >= base.VirtualTime {
+		t.Errorf("top-k run took %v, dense took %v — sparsity saved no virtual time",
+			sparse.VirtualTime, base.VirtualTime)
+	}
+}
+
+// TestConfigRejectsBadTopK: validation fires before any simulation — a
+// negative k and the top-k/lossy-dtype combination are both configuration
+// errors (the runtime collective rejects the latter too).
+func TestConfigRejectsBadTopK(t *testing.T) {
+	cfg := topkConfig(t, Horovod, -1)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative TopK accepted")
+	}
+	cfg = topkConfig(t, Horovod, 4)
+	cfg.Compression = tensor.F16
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("TopK combined with lossy compression accepted")
+	}
+}

@@ -109,6 +109,15 @@ type Config struct {
 	// the loss curves reflect the statistical cost of the narrower wire,
 	// not just its speed.
 	Compression tensor.Dtype
+	// TopK, when > 0, switches the synchronization to sparse top-k
+	// gradient exchange (collective.TopKAllReduce): each worker ships
+	// only its k largest-magnitude gradient elements as index+value
+	// pairs, the dropped mass is carried in the error-feedback residual,
+	// and the priced cost follows the sparse exchange's own binomial
+	// schedule (Comm.TopKAllReduce), ignoring Collective. Mutually
+	// exclusive with a lossy Compression dtype — the runtime collective
+	// rejects the combination, and so does validate().
+	TopK int
 	// SpeedFactors optionally scales each worker's compute time
 	// multiplicatively (deterministic hardware heterogeneity: the
 	// paper's Table 2 testbed mixes K80, 1080Ti and 2080Ti GPUs).
@@ -194,13 +203,19 @@ func (c *Config) validate() error {
 	if !c.Compression.Valid() {
 		return fmt.Errorf("trainsim: unknown compression dtype %d", c.Compression)
 	}
+	if c.TopK < 0 {
+		return fmt.Errorf("trainsim: negative top-k %d", c.TopK)
+	}
+	if c.TopK > 0 && c.Compression != tensor.F64 {
+		return fmt.Errorf("trainsim: top-k sparsification cannot combine with lossy compression %v", c.Compression)
+	}
 	return nil
 }
 
-// residual allocates the error-feedback carry for lossy wires; nil when
-// the wire is exact fp64.
+// residual allocates the error-feedback carry for lossy wires and sparse
+// top-k; nil when the wire is exact, dense fp64.
 func (c *Config) residual(dim int) tensor.Vector {
-	if c.Compression == tensor.F64 {
+	if c.Compression == tensor.F64 && c.TopK == 0 {
 		return nil
 	}
 	return tensor.New(dim)
@@ -239,6 +254,9 @@ func (c *Config) evalEvery() int {
 // payload size; compressed wires are priced per element so the dtype's
 // actual wire bytes (including I8's per-block scales) are charged.
 func (c *Config) allReduceCost(n int, bytes int64) time.Duration {
+	if c.TopK > 0 {
+		return c.Comm.TopKAllReduce(n, int(bytes/8), c.TopK)
+	}
 	if c.Compression == tensor.F64 {
 		return c.Comm.AllReduce(c.Collective, n, bytes)
 	}

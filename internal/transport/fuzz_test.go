@@ -25,6 +25,11 @@ func FuzzReadMessage(f *testing.F) {
 			Payload: []float64{-1.5, 0, 3.25e-3, 7e4, math.Pi},
 		})
 	}
+	// Sparse (index+value) frames, dense-equal dtypes and lossy ones.
+	seeds = append(seeds,
+		Message{Type: MsgReduce, Iter: 4, Payload: []float64{1.25, -7, 0.5}, Indices: []int32{3, 17, 4096}},
+		Message{Type: MsgReduce, Iter: 5, Dtype: tensor.F16, Payload: []float64{2, 3, 5}, Indices: []int32{0, 1, 2}},
+	)
 	for _, m := range seeds {
 		buf, err := Encode(nil, m)
 		if err != nil {
@@ -57,8 +62,14 @@ func FuzzReadMessage(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if back.Type != msg.Type || back.Iter != msg.Iter || back.Chunk != msg.Chunk ||
-			back.Dtype != msg.Dtype || len(back.Payload) != len(msg.Payload) {
+			back.Dtype != msg.Dtype || len(back.Payload) != len(msg.Payload) ||
+			len(back.Indices) != len(msg.Indices) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", back, msg)
+		}
+		for i := range msg.Indices {
+			if back.Indices[i] != msg.Indices[i] {
+				t.Fatalf("index %d: round trip %d vs %d", i, back.Indices[i], msg.Indices[i])
+			}
 		}
 		out2, err := Encode(nil, back)
 		if err != nil {

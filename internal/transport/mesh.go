@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -151,6 +152,12 @@ func (q *chanQueue) close() {
 // LocalNetwork is an in-memory mesh fabric for n ranks within one process.
 // Endpoints returns one Mesh per rank; messages are delivered immediately
 // and in order.
+//
+// Per-peer queues are created lazily on first use: a fully connected fabric
+// has n² peer pairs, but real collectives touch only the pairs their
+// schedules use (a ring touches 2n, a multi-level schedule O(n·log n)), so
+// eager allocation would dominate memory at 1024 ranks (~3M queues) for
+// structures that are never exercised.
 type LocalNetwork struct {
 	size      int
 	endpoints []*localMesh
@@ -164,11 +171,7 @@ func NewLocalNetwork(n int) (*LocalNetwork, error) {
 	net := &LocalNetwork{size: n}
 	net.endpoints = make([]*localMesh, n)
 	for i := 0; i < n; i++ {
-		queues := make([]*chanQueue, n)
-		for j := range queues {
-			queues[j] = newChanQueue()
-		}
-		net.endpoints[i] = &localMesh{net: net, rank: i, inbox: queues}
+		net.endpoints[i] = &localMesh{net: net, rank: i, inbox: make([]atomic.Pointer[chanQueue], n)}
 	}
 	return net, nil
 }
@@ -201,8 +204,9 @@ func (n *LocalNetwork) Close() error {
 type localMesh struct {
 	net  *LocalNetwork
 	rank int
-	// inbox[j] holds messages sent by rank j to this rank.
-	inbox []*chanQueue
+	// inbox[j] holds messages sent by rank j to this rank; slots are
+	// populated lazily by queueFrom on the first send or receive.
+	inbox []atomic.Pointer[chanQueue]
 
 	mu     sync.Mutex
 	closed bool
@@ -216,6 +220,28 @@ var (
 func (m *localMesh) Rank() int { return m.rank }
 
 func (m *localMesh) Size() int { return m.net.size }
+
+// queueFrom returns this endpoint's inbox queue for peer `from`, creating it
+// on first touch. A queue created concurrently with Close must come up
+// already closed, so the winner of the CAS re-checks the closed flag under
+// the endpoint lock (Close flips the flag under the same lock before it
+// walks the slots).
+func (m *localMesh) queueFrom(from int) *chanQueue {
+	if q := m.inbox[from].Load(); q != nil {
+		return q
+	}
+	q := newChanQueue()
+	if m.inbox[from].CompareAndSwap(nil, q) {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			q.close()
+		}
+		return q
+	}
+	return m.inbox[from].Load()
+}
 
 func (m *localMesh) Send(to int, msg Message) error {
 	m.mu.Lock()
@@ -243,7 +269,11 @@ func (m *localMesh) Send(to int, msg Message) error {
 		// to equal Unpack∘Pack.
 		tensor.RoundTrip(msg.Dtype, p)
 	}
-	return m.net.endpoints[to].inbox[m.rank].push(msg)
+	if msg.Indices != nil {
+		// Sparse index lists cross the real wire by value too.
+		msg.Indices = append([]int32(nil), msg.Indices...)
+	}
+	return m.net.endpoints[to].queueFrom(m.rank).push(msg)
 }
 
 // SendOwned implements OwnedSender: the sender's buffer is delivered to the
@@ -266,9 +296,11 @@ func (m *localMesh) SendOwned(to int, msg Message) error {
 	msg.To = int32(to)
 	// The buffer is ours now — quantize in place to mirror the wire (see
 	// Send). Forwarded buffers already hold dequantized grid values, for
-	// which the round trip is an exact no-op by idempotence.
+	// which the round trip is an exact no-op by idempotence. Ownership of
+	// msg.Indices transfers with the message as well: the sender must not
+	// touch the slice afterwards.
 	tensor.RoundTrip(msg.Dtype, msg.Payload)
-	if err := m.net.endpoints[to].inbox[m.rank].push(msg); err != nil {
+	if err := m.net.endpoints[to].queueFrom(m.rank).push(msg); err != nil {
 		PutPayload(msg.Payload)
 		return err
 	}
@@ -279,7 +311,7 @@ func (m *localMesh) Recv(from int) (Message, error) {
 	if from < 0 || from >= m.net.size {
 		return Message{}, fmt.Errorf("transport: recv from rank %d of %d", from, m.net.size)
 	}
-	return m.inbox[from].pop()
+	return m.queueFrom(from).pop()
 }
 
 func (m *localMesh) Close() error {
@@ -290,8 +322,10 @@ func (m *localMesh) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	for _, q := range m.inbox {
-		q.close()
+	for i := range m.inbox {
+		if q := m.inbox[i].Load(); q != nil {
+			q.close()
+		}
 	}
 	return nil
 }

@@ -54,9 +54,18 @@ type Message struct {
 	// Payload carries tensor data (always float64 in memory; Dtype only
 	// governs the wire representation).
 	Payload []float64
+	// Indices, when non-nil, marks the message as SPARSE: Payload[i] is the
+	// value of dense element Indices[i]. Top-k gradient exchange ships
+	// (index, value) pairs this way. A sparse message must satisfy
+	// len(Indices) == len(Payload); the index values themselves are opaque
+	// to the transport (the collective validates range and ordering).
+	Indices []int32
 }
 
-const headerBytes = 1 + 1 + 4 + 4 + 8 + 4 + 4 // type, dtype, from, to, iter, chunk, payload len
+// headerBytes: type(1) dtype(1) from(4) to(4) iter(8) chunk(4)
+// payload len(4) index count(4). The index-count field is appended after the
+// original fields so pre-sparse offsets are unchanged.
+const headerBytes = 1 + 1 + 4 + 4 + 8 + 4 + 4 + 4
 
 // MaxPayloadElems bounds a single message's payload to guard decoders
 // against corrupt or hostile length prefixes (128 MiB of float64s).
@@ -70,10 +79,15 @@ var ErrPayloadTooLarge = errors.New("transport: payload too large")
 // dtype byte is not a known wire encoding.
 var ErrUnknownDtype = errors.New("transport: unknown payload dtype")
 
+// ErrSparseMismatch is returned when a sparse message's index count does not
+// match its payload length.
+var ErrSparseMismatch = errors.New("transport: sparse index/value length mismatch")
+
 // Encode appends the wire form of m to buf and returns the extended slice.
 // The format is little-endian: type(1) dtype(1) from(4) to(4) iter(8)
-// chunk(4) len(4) payload(Dtype.WireBytes(len) bytes). len counts ELEMENTS;
-// the byte size of the payload follows from the dtype.
+// chunk(4) len(4) nidx(4) indices(4·nidx bytes) payload(Dtype.WireBytes(len)
+// bytes). len counts ELEMENTS; the byte size of the payload follows from the
+// dtype. nidx is 0 for dense messages and must equal len for sparse ones.
 func Encode(buf []byte, m Message) ([]byte, error) {
 	if len(m.Payload) > MaxPayloadElems {
 		return nil, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, len(m.Payload))
@@ -81,7 +95,10 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	if !m.Dtype.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownDtype, m.Dtype)
 	}
-	need := headerBytes + m.Dtype.WireBytes(len(m.Payload))
+	if m.Indices != nil && len(m.Indices) != len(m.Payload) {
+		return nil, fmt.Errorf("%w: %d indices, %d values", ErrSparseMismatch, len(m.Indices), len(m.Payload))
+	}
+	need := headerBytes + 4*len(m.Indices) + m.Dtype.WireBytes(len(m.Payload))
 	off := len(buf)
 	if cap(buf)-off < need {
 		grown := make([]byte, off, off+need)
@@ -97,7 +114,12 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	binary.LittleEndian.PutUint64(b[10:], uint64(m.Iter))
 	binary.LittleEndian.PutUint32(b[18:], uint32(m.Chunk))
 	binary.LittleEndian.PutUint32(b[22:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(b[26:], uint32(len(m.Indices)))
 	p := b[headerBytes:]
+	for i, ix := range m.Indices {
+		binary.LittleEndian.PutUint32(p[i*4:], uint32(ix))
+	}
+	p = p[4*len(m.Indices):]
 	if m.Dtype == tensor.F64 {
 		for i, f := range m.Payload {
 			binary.LittleEndian.PutUint64(p[i*8:], math.Float64bits(f))
@@ -152,6 +174,20 @@ func ReadMessage(r io.Reader) (Message, error) {
 	n := binary.LittleEndian.Uint32(hdr[22:])
 	if n > MaxPayloadElems {
 		return Message{}, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
+	}
+	nidx := binary.LittleEndian.Uint32(hdr[26:])
+	if nidx != 0 && nidx != n {
+		return Message{}, fmt.Errorf("%w: %d indices, %d values", ErrSparseMismatch, nidx, n)
+	}
+	if nidx > 0 {
+		raw := make([]byte, 4*nidx)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return Message{}, fmt.Errorf("transport: read indices: %w", err)
+		}
+		m.Indices = make([]int32, nidx)
+		for i := range m.Indices {
+			m.Indices[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
 	}
 	if n > 0 {
 		wire := m.Dtype.WireBytes(int(n))

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Wire-format tests for sparse (index+value) messages — the top-k gradient
+// exchange format. Companion to the dtype fuzz tests in fuzz_test.go.
+
+func sparseSeed(n int) Message {
+	m := Message{Type: MsgReduce, Iter: 42, Chunk: 7}
+	m.Payload = make([]float64, n)
+	m.Indices = make([]int32, n)
+	for i := range m.Payload {
+		m.Payload[i] = float64(i)*1.5 - 3
+		m.Indices[i] = int32(i * 13)
+	}
+	return m
+}
+
+// TestSparseMessageRoundTrip: a sparse frame must decode to exactly the
+// indices and values it was encoded from, across the dtypes the collective
+// ships.
+func TestSparseMessageRoundTrip(t *testing.T) {
+	for _, d := range []tensor.Dtype{tensor.F64, tensor.F32} {
+		msg := sparseSeed(9)
+		msg.Dtype = d
+		buf, err := Encode(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := headerBytes + 4*len(msg.Indices) + d.WireBytes(len(msg.Payload)); len(buf) != want {
+			t.Fatalf("dtype %v sparse frame is %d bytes, want %d", d, len(buf), want)
+		}
+		got, err := ReadMessage(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Indices) != len(msg.Indices) || len(got.Payload) != len(msg.Payload) {
+			t.Fatalf("lengths %d/%d, want %d/%d", len(got.Indices), len(got.Payload), len(msg.Indices), len(msg.Payload))
+		}
+		for i := range msg.Indices {
+			if got.Indices[i] != msg.Indices[i] {
+				t.Errorf("dtype %v index %d = %d, want %d", d, i, got.Indices[i], msg.Indices[i])
+			}
+		}
+		want := append([]float64(nil), msg.Payload...)
+		tensor.RoundTrip(d, want)
+		for i := range want {
+			if math.Float64bits(got.Payload[i]) != math.Float64bits(want[i]) {
+				t.Errorf("dtype %v value %d = %v, want %v", d, i, got.Payload[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSparseMessageEncodeMismatch: the encoder must refuse index/value
+// length disagreements rather than emit a frame no decoder accepts.
+func TestSparseMessageEncodeMismatch(t *testing.T) {
+	msg := sparseSeed(4)
+	msg.Indices = msg.Indices[:3]
+	if _, err := Encode(nil, msg); !errors.Is(err, ErrSparseMismatch) {
+		t.Errorf("mismatched encode error = %v, want ErrSparseMismatch", err)
+	}
+}
+
+// TestSparseMessageTruncated: frames cut in the header, mid-index-list, or
+// mid-payload must error, never hang or deliver partial data.
+func TestSparseMessageTruncated(t *testing.T) {
+	msg := sparseSeed(16)
+	buf, err := Encode(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{
+		headerBytes - 1,         // inside the header
+		headerBytes,             // before any index byte
+		headerBytes + 1,         // mid-index
+		headerBytes + 4*16 - 2,  // last index cut short
+		headerBytes + 4*16,      // indices intact, payload missing
+		headerBytes + 4*16 + 11, // mid-value
+		len(buf) - 1,            // one byte short
+	}
+	for _, cut := range cuts {
+		if _, err := ReadMessage(bytes.NewReader(buf[:cut])); err == nil {
+			t.Errorf("frame truncated at %d decoded without error", cut)
+		}
+	}
+	if _, err := ReadMessage(bytes.NewReader(buf)); err != nil {
+		t.Errorf("intact frame failed: %v", err)
+	}
+}
+
+// TestSparseMessageGarbageCounts: forged headers whose index count
+// disagrees with the payload length, or exceeds the global payload bound,
+// must be rejected before any allocation-scale damage.
+func TestSparseMessageGarbageCounts(t *testing.T) {
+	msg := sparseSeed(8)
+	buf, err := Encode(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := func(nidx uint32) []byte {
+		f := append([]byte(nil), buf...)
+		binary.LittleEndian.PutUint32(f[26:], nidx)
+		return f
+	}
+	if _, err := ReadMessage(bytes.NewReader(forge(7))); !errors.Is(err, ErrSparseMismatch) {
+		t.Errorf("nidx<len error = %v, want ErrSparseMismatch", err)
+	}
+	if _, err := ReadMessage(bytes.NewReader(forge(9))); !errors.Is(err, ErrSparseMismatch) {
+		t.Errorf("nidx>len error = %v, want ErrSparseMismatch", err)
+	}
+	// nidx == len(payload) but the count is absurd: the payload-length bound
+	// fires first on the forged len field.
+	f := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(f[22:], MaxPayloadElems+1)
+	binary.LittleEndian.PutUint32(f[26:], MaxPayloadElems+1)
+	if _, err := ReadMessage(bytes.NewReader(f)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized sparse frame error = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+// TestSparseSendThroughLocalMesh: the in-memory mesh must deliver sparse
+// messages by value — the receiver's index slice must not alias the
+// sender's.
+func TestSparseSendThroughLocalMesh(t *testing.T) {
+	net, err := NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	eps := net.Endpoints()
+	msg := sparseSeed(5)
+	sent := append([]int32(nil), msg.Indices...)
+	if err := eps[0].Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	msg.Indices[0] = -999 // sender keeps mutating its buffers
+	msg.Payload[0] = -999
+	got, err := eps[1].Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sent {
+		if got.Indices[i] != sent[i] {
+			t.Errorf("index %d = %d, want %d (aliasing?)", i, got.Indices[i], sent[i])
+		}
+	}
+	if got.Payload[0] == -999 {
+		t.Error("payload aliases the sender's buffer")
+	}
+}

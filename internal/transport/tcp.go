@@ -206,6 +206,9 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 			msg.Payload = p
 			tensor.RoundTrip(msg.Dtype, p)
 		}
+		if msg.Indices != nil {
+			msg.Indices = append([]int32(nil), msg.Indices...)
+		}
 		return m.inbox[m.rank].push(msg)
 	}
 	conn := m.conns[to]

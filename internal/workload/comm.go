@@ -269,6 +269,41 @@ func (c CommModel) AllReduceWire(algo AllReduceAlgo, n int, elems int, wire tens
 	}
 }
 
+// TopKAllReduce prices the sparse index+value exchange of
+// collective.TopKAllReduce: a binomial tree reduces each rank's top-k
+// entries to a root, then a binomial broadcast ships the merged union
+// back. Each entry costs 12 wire bytes (int32 index + fp64 value). Frame
+// sizes grow as unions accumulate up the tree — at reduce depth i a frame
+// carries at most min(k·2^i, elems) entries; every broadcast frame
+// carries the final union of at most min(n·k, elems) entries. Unions are
+// priced at their worst case (no index overlap), so the model is an upper
+// bound that converges to the true cost as gradients decorrelate.
+func (c CommModel) TopKAllReduce(n int, elems, k int) time.Duration {
+	if n <= 1 || elems <= 0 {
+		return 0
+	}
+	if k > elems {
+		k = elems
+	}
+	if k <= 0 {
+		return 0
+	}
+	const entryBytes = 12 // 4-byte index + 8-byte fp64 value
+	var d time.Duration
+	entries := k
+	for span := 1; span < n; span <<= 1 {
+		d += c.transfer(int64(entryBytes * entries))
+		if entries *= 2; entries > elems {
+			entries = elems
+		}
+	}
+	union := n * k
+	if union > elems {
+		union = elems
+	}
+	return d + c.Broadcast(n, int64(entryBytes*union))
+}
+
 // NaiveAllReduce returns the cost of the gather-then-broadcast alternative
 // (everyone sends the full buffer to a root which broadcasts back): 2(N−1)
 // full-size serialized transfers at the root's link. Used by the ablation

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTopKAllReducePinned hand-checks the sparse exchange price: binomial
+// reduce with doubling unions, then a binomial broadcast of the full union
+// at 12 bytes per (index, value) entry.
+func TestTopKAllReducePinned(t *testing.T) {
+	c := CommModel{Latency: time.Microsecond, Bandwidth: 1e9}
+	// n=4, elems=100, k=2: reduce frames of 2 then 4 entries, broadcast
+	// 2 steps of the 8-entry union.
+	want := c.transfer(24) + c.transfer(48) + 2*c.transfer(96)
+	if got := c.TopKAllReduce(4, 100, 2); got != want {
+		t.Errorf("TopKAllReduce(4, 100, 2) = %v, want %v", got, want)
+	}
+	// Union and frame sizes clamp at elems: with k == elems every frame is
+	// a dense 12·elems payload.
+	dense := c.transfer(120) + c.transfer(120) + 2*c.transfer(120)
+	if got := c.TopKAllReduce(4, 10, 10); got != dense {
+		t.Errorf("TopKAllReduce(4, 10, 10) = %v, want %v", got, dense)
+	}
+	if got := c.TopKAllReduce(4, 10, 99); got != dense {
+		t.Errorf("k > elems must clamp: got %v, want %v", got, dense)
+	}
+}
+
+// TestTopKAllReduceDegenerate: no ranks, no elements or no selection means
+// no traffic.
+func TestTopKAllReduceDegenerate(t *testing.T) {
+	c := DefaultComm()
+	for _, tc := range [][3]int{{1, 1024, 8}, {4, 0, 8}, {4, 1024, 0}, {4, 1024, -3}} {
+		if got := c.TopKAllReduce(tc[0], tc[1], tc[2]); got != 0 {
+			t.Errorf("TopKAllReduce(%v) = %v, want 0", tc, got)
+		}
+	}
+}
+
+// TestTopKAllReduceSparsitySaves: the point of shipping indices — at high
+// sparsity the sparse exchange must undercut every dense schedule, and the
+// price must grow with k.
+func TestTopKAllReduceSparsitySaves(t *testing.T) {
+	c := TenGbEComm()
+	const n, elems = 8, 1 << 20
+	sparse := c.TopKAllReduce(n, elems, elems/256)
+	if dense := c.AllReduce(AllReduceAuto, n, 8*elems); sparse >= dense {
+		t.Errorf("top-k (%v) not cheaper than dense auto (%v) at 1/256 density", sparse, dense)
+	}
+	prev := time.Duration(0)
+	for _, k := range []int{64, 1 << 10, 1 << 14, elems} {
+		d := c.TopKAllReduce(n, elems, k)
+		if d < prev {
+			t.Errorf("price not monotone in k: k=%d costs %v < %v", k, d, prev)
+		}
+		prev = d
+	}
+}
