@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke microbench calibrate collective-bench train-bench check
+.PHONY: all vet build test race bench bench-smoke fuzz-smoke microbench calibrate collective-bench train-bench check
 
 all: vet build test
 
@@ -28,6 +28,13 @@ bench: collective-bench train-bench
 # any JSON — a seconds-long CI check that the benchmark harness still works.
 bench-smoke:
 	$(GO) run ./cmd/rnabench -bench-smoke
+
+# fuzz-smoke runs each wire-protocol fuzz target for a short budget — enough
+# to cover the seeded v1 corpus (header truncations, forged fields, hello
+# garbage) plus a burst of mutations, quick enough for CI.
+fuzz-smoke:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadMessage -fuzztime 20s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadHello -fuzztime 10s
 
 # microbench runs the collective, kernel, model and engine micro-benchmarks
 # interactively.

@@ -156,6 +156,18 @@ type collectiveBenchReport struct {
 	Scaling               []scalingRow `json:"scaling"`
 	GateScalingEfficiency float64      `json:"gate_scaling_efficiency"`
 	GateMultiLevelWin     float64      `json:"gate_multi_level_win"`
+	// Framing is the v1 wire-protocol sweep (see framing.go): codec cost,
+	// header overhead and sustained TCP message rate across 64 B – 8 MiB
+	// payloads, plus the small-tensor e2e AllReduce comparison against the
+	// pre-framing seed. GateFramingSmallSpeedup is min(seed/current) over the
+	// small dims (bar >= 1.2); GateFramingAllocsPerOp is the worst codec
+	// allocation count (bar == 0); GateFramingHeaderPct is the header
+	// overhead at a 256 KiB payload (bar <= 1).
+	Framing                 []framingRow      `json:"framing"`
+	FramingSmallTCP         []framingSmallRow `json:"framing_small_tcp"`
+	GateFramingSmallSpeedup float64           `json:"gate_framing_small_speedup"`
+	GateFramingAllocsPerOp  int64             `json:"gate_framing_allocs_per_op"`
+	GateFramingHeaderPct    float64           `json:"gate_framing_header_pct"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -761,6 +773,9 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 	if err := runScalingSweep(&rep); err != nil {
 		return err
 	}
+	if err := runFramingSweep(&rep); err != nil {
+		return err
+	}
 	for _, cur := range rep.Current {
 		for _, seed := range rep.Seed {
 			if cur.Name == "RingAllReduce" && cur.Name == seed.Name && cur.Ranks == 8 && seed.Ranks == 8 && cur.Dim == seed.Dim {
@@ -794,5 +809,7 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 		rep.GateOverlapSpeedup, rep.GateOverlapInFlight)
 	fmt.Fprintf(os.Stderr, "collective bench: scaling efficiency %.2f at n%d (gate >= 0.8), multi-level/ring %.2fx at >=256 ranks (gate <= 1.0)\n",
 		rep.GateScalingEfficiency, rep.Scaling[len(rep.Scaling)-1].Ranks, rep.GateMultiLevelWin)
+	fmt.Fprintf(os.Stderr, "collective bench: framing small-tensor speedup %.2fx (gate >= 1.2), codec allocs/op %d (gate == 0), header %.3f%% at 256KiB (gate <= 1)\n",
+		rep.GateFramingSmallSpeedup, rep.GateFramingAllocsPerOp, rep.GateFramingHeaderPct)
 	return nil
 }

@@ -138,7 +138,15 @@ func AllReduceOpts(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, o
 		if opts.Compression != tensor.F64 {
 			return fmt.Errorf("collective: top-k does not compose with %v compression (selected values ship exact)", opts.Compression)
 		}
-		return topKAllReduce(m, iter, v, op, opts.TopK, opts.Residual)
+		if transport.MeshCaps(m)&transport.CapSparse != 0 {
+			return topKAllReduce(m, iter, v, op, opts.TopK, opts.Residual)
+		}
+		// Capability downgrade: some rank of the mesh negotiated without
+		// sparse frame support, so the sparse exchange cannot run. Fall back
+		// to the dense schedule — exact, so any error-feedback residual
+		// stays untouched. MeshCaps is the same global AND on every rank,
+		// so all SPMD ranks take this branch together.
+		opts.TopK = 0
 	}
 	algo := opts.Algorithm
 	if algo == AlgoAuto {

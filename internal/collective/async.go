@@ -12,19 +12,21 @@ import (
 // Non-blocking collectives.
 //
 // Async multiplexes concurrent collectives over one mesh: each call runs on
-// its own tag stream (see transport.StreamDemux), so several bucket
-// reductions can be in flight at once without their messages interleaving.
-// Start launches the collective on a goroutine and returns a Handle; Wait
-// joins it. Everything else — algorithm auto-selection, compression
-// Options, pooled buffers, the ErrTagOverflow guard — is the synchronous
-// engine, reused unchanged on the stream view.
+// its own tag stream (the Message.Stream frame-header field — see
+// transport.Streams), so several bucket reductions can be in flight at once
+// without their messages interleaving. On a TCP mesh the streams route
+// natively in the transport; other meshes get a cooperative demux. Start
+// launches the collective on a goroutine and returns a Handle; Wait joins
+// it. Everything else — algorithm auto-selection, compression Options,
+// pooled buffers, the ErrTagOverflow guard — is the synchronous engine,
+// reused unchanged on the stream view.
 
 // Async runs collectives concurrently on one mesh. All SPMD ranks of a job
 // must drive their meshes through an Async with the same stream/iter
 // discipline. A stream carries one collective at a time (Start on a busy
 // stream fails); distinct streams are fully independent.
 type Async struct {
-	demux *transport.StreamDemux
+	streams transport.StreamRouter
 
 	mu    sync.Mutex
 	views map[int32]transport.Mesh
@@ -39,9 +41,9 @@ type Async struct {
 // with in-flight Starts.
 func NewAsync(m transport.Mesh) *Async {
 	return &Async{
-		demux: transport.NewStreamDemux(m),
-		views: make(map[int32]transport.Mesh),
-		busy:  make(map[int32]bool),
+		streams: transport.Streams(m),
+		views:   make(map[int32]transport.Mesh),
+		busy:    make(map[int32]bool),
 	}
 }
 
@@ -75,22 +77,19 @@ func (a *Async) MaxInFlight() int { return int(a.maxInFlight.Load()) }
 func (a *Async) view(stream int32) transport.Mesh {
 	v := a.views[stream]
 	if v == nil {
-		v = a.demux.Stream(stream)
+		v = a.streams.StreamView(stream)
 		a.views[stream] = v
 	}
 	return v
 }
 
 // acquire claims a stream for one collective and bumps the in-flight
-// gauges. The iter is validated eagerly: failing at launch beats failing
-// mid-collective, where the peers would hang waiting for messages the
-// overflowing rank can never send.
+// gauges. The stream id travels as a first-class frame-header field, so any
+// int64 iter is usable — there is no packed-tag overflow to guard.
 func (a *Async) acquire(stream int32, iter int64) (transport.Mesh, error) {
+	_ = iter
 	if stream < 0 {
 		return nil, fmt.Errorf("collective: negative stream %d", stream)
-	}
-	if iter < 0 || iter >= transport.MaxStreamIter {
-		return nil, fmt.Errorf("%w: iter %d", transport.ErrIterOverflow, iter)
 	}
 	a.mu.Lock()
 	if a.busy[stream] {
@@ -119,9 +118,7 @@ func (a *Async) release(stream int32) {
 }
 
 // Start launches AllReduceOpts(v) on the given stream and returns without
-// waiting. v must stay untouched until Wait returns; iter must fit the
-// stream tag space (negative or ≥ transport.MaxStreamIter fails with
-// transport.ErrIterOverflow).
+// waiting. v must stay untouched until Wait returns.
 func (a *Async) Start(stream int32, iter int64, v tensor.Vector, op ReduceOp, opts Options) (*Handle, error) {
 	m, err := a.acquire(stream, iter)
 	if err != nil {

@@ -196,8 +196,9 @@ func TestAsyncBusyStream(t *testing.T) {
 	})
 }
 
-// TestAsyncBadArgs: negative streams and iters outside the stream tag space
-// fail cleanly.
+// TestAsyncBadArgs: negative streams fail cleanly, and — now that streams
+// ride a dedicated frame-header field instead of Iter's high bits — the full
+// int64 iter range is usable on any stream.
 func TestAsyncBadArgs(t *testing.T) {
 	net, err := transport.NewLocalNetwork(1)
 	if err != nil {
@@ -208,23 +209,25 @@ func TestAsyncBadArgs(t *testing.T) {
 	if _, err := a.Start(-1, 0, tensor.New(4), OpSum, Options{}); err == nil {
 		t.Error("negative stream accepted")
 	}
-	// An iter outside the stream tag space fails at launch — before any
-	// message could strand the peers mid-collective.
-	for _, iter := range []int64{-1, transport.MaxStreamIter, transport.MaxStreamIter + 9} {
-		if _, err := a.Start(0, iter, tensor.New(4), OpSum, Options{}); !errors.Is(err, transport.ErrIterOverflow) {
-			t.Errorf("iter %d: err = %v, want ErrIterOverflow", iter, err)
+	// The failed launch must not leave stream 0 marked busy, and huge iters
+	// (formerly rejected as stream-tag overflow) now run end to end.
+	for _, iter := range []int64{-1, 0, 1 << 60, math.MaxInt64} {
+		h, err := a.Start(0, iter, tensor.New(4), OpSum, Options{})
+		if err != nil {
+			t.Fatalf("iter %d rejected: %v", iter, err)
 		}
-		if _, err := a.StartPartial(0, iter, tensor.New(4), true, Options{}); !errors.Is(err, transport.ErrIterOverflow) {
-			t.Errorf("partial iter %d: err = %v, want ErrIterOverflow", iter, err)
+		if err := h.Wait(); err != nil {
+			t.Fatalf("iter %d failed: %v", iter, err)
 		}
-	}
-	// The failed launches must not leave the stream marked busy.
-	h, err := a.Start(0, 0, tensor.New(4), OpSum, Options{})
-	if err != nil {
-		t.Fatalf("stream not released after overflow: %v", err)
-	}
-	if err := h.Wait(); err != nil {
-		t.Fatal(err)
+		ph, err := a.StartPartial(0, iter, tensor.New(4), true, Options{})
+		if err != nil {
+			t.Fatalf("partial iter %d rejected: %v", iter, err)
+		}
+		if err := ph.Wait(); err != nil {
+			t.Fatalf("partial iter %d failed: %v", iter, err)
+		}
+		res := ph.Partial()
+		res.Release()
 	}
 }
 

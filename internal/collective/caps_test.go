@@ -1,0 +1,124 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Capability-negotiation behavior at the collective layer: the sparse top-k
+// exchange over a real negotiated TCP mesh, and the dense fallback when some
+// rank of the mesh never learned to decode sparse frames.
+
+// runTCPOpts runs AllReduceOpts SPMD over a TCP cluster built with optsFor.
+func runTCPOpts(t *testing.T, inputs []tensor.Vector, iter int64, op ReduceOp, opts Options,
+	optsFor func(rank int) transport.MeshOptions) []tensor.Vector {
+	t.Helper()
+	n := len(inputs)
+	meshes, err := transport.NewTCPClusterOpts(n, optsFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	got := make([]tensor.Vector, n)
+	done := make(chan error, n)
+	for r := 0; r < n; r++ {
+		r := r
+		got[r] = inputs[r].Clone()
+		go func() { done <- AllReduceOpts(meshes[r], iter, got[r], op, opts) }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return got
+}
+
+// TestTopKTCPMatchesInMemory: the sparse exchange ships real index+value
+// frames over the TCP wire; the result must be bit-identical to the
+// in-memory mesh on every rank.
+func TestTopKTCPMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster in -short mode")
+	}
+	const n, dim, k = 4, 600, 40
+	rng := rand.New(rand.NewSource(67))
+	inputs := randomInputs(rng, n, dim)
+	mem, _ := runAlgoOpts(t, inputs, 13, OpAverage, Options{TopK: k})
+	tcp := runTCPOpts(t, inputs, 13, OpAverage, Options{TopK: k}, nil)
+	for r := 0; r < n; r++ {
+		for j := range tcp[r] {
+			if math.Float64bits(tcp[r][j]) != math.Float64bits(mem[0][j]) {
+				t.Fatalf("TCP rank %d elem %d = %v, in-memory = %v", r, j, tcp[r][j], mem[0][j])
+			}
+		}
+	}
+}
+
+// TestTopKFallsBackDenseWithoutCapSparse: when any rank of the mesh lacks
+// CapSparse, every rank must take the dense branch together — the result is
+// the exact dense reduction, and error-feedback residuals stay zero (the
+// dense f64 wire is lossless, so nothing is dropped).
+func TestTopKFallsBackDenseWithoutCapSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster in -short mode")
+	}
+	const n, dim, k = 3, 300, 10
+	rng := rand.New(rand.NewSource(71))
+	inputs := randomInputs(rng, n, dim)
+	// The dense reference: what the fallback must compute instead of the
+	// sparse union.
+	dense := runTCPOpts(t, inputs, 5, OpSum, Options{}, nil)
+	optsFor := func(rank int) transport.MeshOptions {
+		if rank == 1 {
+			return transport.MeshOptions{Caps: transport.CapsAll &^ transport.CapSparse}
+		}
+		return transport.MeshOptions{}
+	}
+
+	meshes, err := transport.NewTCPClusterOpts(n, optsFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	got := make([]tensor.Vector, n)
+	res := make([]tensor.Vector, n)
+	done := make(chan error, n)
+	for r := 0; r < n; r++ {
+		r := r
+		got[r] = inputs[r].Clone()
+		res[r] = tensor.New(dim)
+		go func() {
+			done <- AllReduceOpts(meshes[r], 5, got[r], OpSum, Options{TopK: k, Residual: res[r]})
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for j := range got[r] {
+			if math.Float64bits(got[r][j]) != math.Float64bits(dense[r][j]) {
+				t.Fatalf("rank %d elem %d = %v, dense reference = %v", r, j, got[r][j], dense[r][j])
+			}
+		}
+		for j, v := range res[r] {
+			if v != 0 {
+				t.Fatalf("rank %d residual[%d] = %v after exact dense fallback", r, j, v)
+			}
+		}
+	}
+}

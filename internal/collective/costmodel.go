@@ -84,6 +84,19 @@ func ringShape(n int, bytes int64) (msgs float64, vol float64) {
 	if n <= 1 {
 		return 0, 0
 	}
+	if ringInlineEligible(n, int(bytes/8)) {
+		// Small f64 tensors execute as the inline allgather (ring.go):
+		// log₂N recursive-doubling rounds at power-of-two N, N−1 direct
+		// exchanges otherwise, shipping (N−1)·S bytes per rank instead of
+		// 2(N−1) chunked steps. Pricing the schedule that actually runs
+		// keeps the selector honest in the latency-bound regime, where
+		// the inline ring now beats the log-depth schedules.
+		rounds := float64(n - 1)
+		if n&(n-1) == 0 {
+			rounds = float64(log2(n))
+		}
+		return rounds, float64(n-1) * float64(bytes)
+	}
 	steps := float64(2 * (n - 1))
 	return steps, steps * float64(bytes/int64(n))
 }
@@ -569,7 +582,19 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 	}
 
 	fit := func(algo Algorithm, shape func(int, int64) (float64, float64)) (AlgoCost, error) {
-		tSmall, err := probe(algo, smallDim)
+		// The two-point fit solves t = msgs·α + vol·β assuming both probes
+		// run the same schedule shape. The ring dispatches to the inline
+		// allgather inside its small envelope — a different shape with a
+		// different msgs term — so its small probe must sit just past the
+		// envelope to keep both points on the pipelined schedule. (Fitting
+		// across the two shapes attributes the inline probe's time to
+		// log₂N messages and inflates α ~20×, which then mispredicts the
+		// pipelined ring at every bandwidth-bound size.)
+		probeSmall := smallDim
+		for algo == AlgoRing && ringInlineEligible(ranks, probeSmall) {
+			probeSmall *= 2
+		}
+		tSmall, err := probe(algo, probeSmall)
 		if err != nil {
 			return AlgoCost{}, fmt.Errorf("calibrate %s small: %w", algo, err)
 		}
@@ -577,7 +602,7 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 		if err != nil {
 			return AlgoCost{}, fmt.Errorf("calibrate %s large: %w", algo, err)
 		}
-		msgsS, volS := shape(ranks, int64(smallDim)*8)
+		msgsS, volS := shape(ranks, int64(probeSmall)*8)
 		_, volL := shape(ranks, int64(largeDim)*8)
 		// Two-point fit: t = msgs·α + vol·β. The shapes share the msgs
 		// term when msgsS == msgsL (all three do at fixed n), so β falls
@@ -654,7 +679,13 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 		return float64(time.Since(start).Nanoseconds()) / float64(rounds), nil
 	}
 	fitLinks := func(members []int) (AlgoCost, error) {
-		tSmall, err := probeLinks(members, smallDim)
+		// Same shape constraint as fit: keep the small probe past the
+		// inline envelope so both points run the pipelined ring.
+		probeSmall := smallDim
+		for ringInlineEligible(len(members), probeSmall) {
+			probeSmall *= 2
+		}
+		tSmall, err := probeLinks(members, probeSmall)
 		if err != nil {
 			return AlgoCost{}, err
 		}
@@ -662,7 +693,7 @@ func Calibrate(ranks, smallDim, largeDim, rounds int) (Calibration, error) {
 		if err != nil {
 			return AlgoCost{}, err
 		}
-		msgsS, volS := ringShape(len(members), int64(smallDim)*8)
+		msgsS, volS := ringShape(len(members), int64(probeSmall)*8)
 		_, volL := ringShape(len(members), int64(largeDim)*8)
 		beta := (tLarge - tSmall) / (volL - volS)
 		if beta < 0 {

@@ -6,11 +6,44 @@ import (
 	"testing"
 )
 
-// TestSelectPrefersLatencyOptimalSmall: with any sane model, tiny tensors on
-// many ranks must avoid the ring's 2(n−1)-step latency chain.
+// TestSelectPrefersLatencyOptimalSmall: small tensors must never land on a
+// 2(n−1)-step latency chain. Inside the inline envelope (≤ 8 KiB, ≤ 32
+// ranks) the ring itself runs the log-depth allgather, so the selector must
+// price it as such: under an α-dominated model the inline ring's log₂N
+// rounds are the shortest critical path at power-of-two n and must win,
+// while outside the envelope — where ring means the pipelined 2(n−1)
+// schedule — ring must lose. Which algorithm wins inside the envelope under
+// fitted constants depends on the β spread; the structural invariant is
+// that the pipelined chain is never picked for small tensors.
 func TestSelectPrefersLatencyOptimalSmall(t *testing.T) {
+	alphaOnly := CostModel{
+		Ring:            AlgoCost{AlphaNs: 1},
+		HalvingDoubling: AlgoCost{AlphaNs: 1},
+		Tree:            AlgoCost{AlphaNs: 1},
+	}
+	for _, n := range []int{8, 16, 32} {
+		// log₂n inline rounds < 2·log₂n for either log-depth schedule.
+		if got := alphaOnly.Select(n, 64); got != AlgoRing {
+			t.Errorf("alpha-only Select(%d ranks, 64 elems) = %v; want ring (inline allgather is latency-optimal)", n, got)
+		}
+		// 4096 elems = 32 KiB: past the inline cap, ring is 2(n−1) deep.
+		if got := alphaOnly.Select(n, 4096); got == AlgoRing {
+			t.Errorf("alpha-only Select(%d ranks, 4096 elems) = ring; want a log-depth schedule", n)
+		}
+	}
+	// Non-power-of-two inline: n−1 direct exchanges still beat
+	// 2⌈log₂n⌉ = 6 at n = 6.
+	if got := alphaOnly.Select(6, 64); got != AlgoRing {
+		t.Errorf("alpha-only Select(6 ranks, 64 elems) = %v; want ring", got)
+	}
 	m := DefaultCostModel()
 	for _, n := range []int{8, 16, 32} {
+		if got := m.Select(n, 4096); got == AlgoRing {
+			t.Errorf("Select(%d ranks, 4096 elems) = ring; want a log-depth schedule", n)
+		}
+	}
+	// Past the rank cap the inline path is off even for tiny tensors.
+	for _, n := range []int{64, 128} {
 		if got := m.Select(n, 64); got == AlgoRing {
 			t.Errorf("Select(%d ranks, 64 elems) = ring; want a log-depth schedule", n)
 		}
@@ -62,20 +95,27 @@ func TestPredictMatchesConstructedModel(t *testing.T) {
 	unit := AlgoCost{AlphaNs: 1, BetaNsPerByte: 0}
 	m := CostModel{Ring: unit, HalvingDoubling: unit, Tree: unit}
 	cases := []struct {
-		algo Algorithm
-		n    int
-		want float64
+		algo  Algorithm
+		n     int
+		bytes int64
+		want  float64
 	}{
-		{AlgoRing, 4, 6},            // 2(n−1)
-		{AlgoRing, 8, 14},           //
-		{AlgoHalvingDoubling, 8, 6}, // 2·log2(8)
-		{AlgoHalvingDoubling, 6, 6}, // 2·log2(4) + 2 fold hops
-		{AlgoTree, 8, 6},            // 2·⌈log2 8⌉
-		{AlgoTree, 5, 6},            // 2·⌈log2 5⌉
+		// 800 B sits inside the inline-ring envelope: log₂n rounds at
+		// power-of-two n, n−1 direct exchanges otherwise.
+		{AlgoRing, 4, 800, 2}, // log2(4)
+		{AlgoRing, 8, 800, 3}, // log2(8)
+		{AlgoRing, 6, 800, 5}, // n−1 (non-power-of-two)
+		// 80 KB is past the inline cap: the pipelined ring's 2(n−1).
+		{AlgoRing, 4, 80000, 6},          //
+		{AlgoRing, 8, 80000, 14},         //
+		{AlgoHalvingDoubling, 8, 800, 6}, // 2·log2(8)
+		{AlgoHalvingDoubling, 6, 800, 6}, // 2·log2(4) + 2 fold hops
+		{AlgoTree, 8, 800, 6},            // 2·⌈log2 8⌉
+		{AlgoTree, 5, 800, 6},            // 2·⌈log2 5⌉
 	}
 	for _, tc := range cases {
-		if got := m.PredictNs(tc.algo, tc.n, 800); got != tc.want {
-			t.Errorf("PredictNs(%v, n=%d) = %v, want %v", tc.algo, tc.n, got, tc.want)
+		if got := m.PredictNs(tc.algo, tc.n, tc.bytes); got != tc.want {
+			t.Errorf("PredictNs(%v, n=%d, %dB) = %v, want %v", tc.algo, tc.n, tc.bytes, got, tc.want)
 		}
 	}
 }

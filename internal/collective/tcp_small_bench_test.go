@@ -1,0 +1,50 @@
+package collective_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// BenchmarkTCPRingSmall is the e2e small-tensor gate case: an 8-rank TCP
+// ring AllReduce at dims where per-frame overhead dominates. Dims ≤ 1024
+// take the inline allgather fast path (ring.go); the larger dims stay on
+// the pipelined ring for comparison.
+func BenchmarkTCPRingSmall(b *testing.B) {
+	for _, dim := range []int{128, 512, 2048, 4096} {
+		b.Run(fmt.Sprintf("dim%d", dim), func(b *testing.B) {
+			const n = 8
+			meshes, err := transport.NewTCPCluster(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, m := range meshes {
+					_ = m.Close()
+				}
+			}()
+			vecs := make([]tensor.Vector, n)
+			for i := range vecs {
+				vecs[i] = tensor.New(dim)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done := make(chan error, n)
+				for _, m := range meshes {
+					m := m
+					go func() {
+						done <- collective.AllReduceWith(m, int64(i), vecs[m.Rank()], collective.OpAverage, collective.AlgoRing)
+					}()
+				}
+				for range meshes {
+					if err := <-done; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

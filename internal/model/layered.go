@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/tensor"
 )
@@ -78,17 +79,30 @@ type Bucket struct {
 // PlanBuckets coalesces emission spans into reduction buckets holding at
 // most fusionBytes bytes (8 per element; fusionBytes <= 0 disables
 // coalescing, one bucket per span; a single span larger than the threshold
-// keeps its own bucket). Only adjacent-in-memory spans merge, so every
-// bucket stays a contiguous parameter range that collectives can reduce in
-// place.
+// keeps its own bucket). Merging is by adjacency IN MEMORY, independent of
+// emission order: a span fuses into any open bucket it touches, and a span
+// that touches two open buckets bridges them into one. Every bucket is
+// therefore a contiguous parameter range that collectives can reduce in
+// place, and an unbounded threshold genuinely collapses a partition of the
+// vector to one whole-vector bucket — which is what makes the single-bucket
+// overlap schedule bit-identical to the legacy whole-vector worker even for
+// collectives whose per-element reduction order depends on the element's
+// offset (the ring chunks by position; the tree does not). Emission-order
+// merging cannot promise that: a backward pass that emits W before its
+// bias leaves a hole the pairwise walk never bridges.
+//
+// Buckets are returned in readiness order — ascending LastLayer, the
+// emission layer that completes the bucket (the max over everything merged
+// into it) — so the reducer can launch plan[i] the moment layer
+// plan[i].LastLayer finalizes.
 //
 // The plan is a pure function of (spans, fusionBytes): fixed bucket
-// boundaries, in deterministic emission order. That is the bit-identity
-// argument for the overlap reducer — every rank derives the identical plan
-// from the shared model architecture and threshold, each bucket's
-// collective is a deterministic function of its inputs, and bucket results
-// land in disjoint spans, so launching the collectives concurrently cannot
-// change a single bit relative to running them back to back.
+// boundaries, deterministic order. That is the bit-identity argument for
+// the overlap reducer — every rank derives the identical plan from the
+// shared model architecture and threshold, each bucket's collective is a
+// deterministic function of its inputs, and bucket results land in
+// disjoint spans, so launching the collectives concurrently cannot change
+// a single bit relative to running them back to back.
 func PlanBuckets(spans []Span, fusionBytes int) []Bucket {
 	if len(spans) == 0 {
 		return nil
@@ -100,24 +114,38 @@ func PlanBuckets(spans []Span, fusionBytes int) []Bucket {
 			maxElems = 1
 		}
 	}
-	out := make([]Bucket, 0, len(spans))
-	cur := Bucket{Span: spans[0], LastLayer: 0}
-	for i, s := range spans[1:] {
-		layer := i + 1
-		contiguous := s.Lo == cur.Hi || s.Hi == cur.Lo
-		if maxElems > 0 && contiguous && cur.Len()+s.Len() <= maxElems {
-			if s.Lo == cur.Hi {
-				cur.Hi = s.Hi
-			} else {
-				cur.Lo = s.Lo
+	// Open buckets, kept sorted by Lo (spans partition the vector, so
+	// adjacency is an exact endpoint match against at most two neighbors).
+	open := make([]Bucket, 0, len(spans))
+	for layer, s := range spans {
+		b := Bucket{Span: s, LastLayer: layer}
+		i := sort.Search(len(open), func(i int) bool { return open[i].Lo >= b.Lo })
+		if maxElems > 0 {
+			// Fuse with the left neighbor first, then the right — the
+			// right check sees the already-fused size, so a bridge only
+			// happens when all three pieces fit under the cap together.
+			if i > 0 && open[i-1].Hi == b.Lo && open[i-1].Len()+b.Len() <= maxElems {
+				b.Lo = open[i-1].Lo
+				if open[i-1].LastLayer > b.LastLayer {
+					b.LastLayer = open[i-1].LastLayer
+				}
+				open = append(open[:i-1], open[i:]...)
+				i--
 			}
-			cur.LastLayer = layer
-			continue
+			if i < len(open) && open[i].Lo == b.Hi && b.Len()+open[i].Len() <= maxElems {
+				b.Hi = open[i].Hi
+				if open[i].LastLayer > b.LastLayer {
+					b.LastLayer = open[i].LastLayer
+				}
+				open = append(open[:i], open[i+1:]...)
+			}
 		}
-		out = append(out, cur)
-		cur = Bucket{Span: s, LastLayer: layer}
+		open = append(open, Bucket{})
+		copy(open[i+1:], open[i:])
+		open[i] = b
 	}
-	return append(out, cur)
+	sort.Slice(open, func(i, j int) bool { return open[i].LastLayer < open[j].LastLayer })
+	return open
 }
 
 // validateSpans checks that spans partition [0, dim) — used by tests and

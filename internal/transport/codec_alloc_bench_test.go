@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkCodecSteadyState measures one encode+decode cycle of a v1 frame
+// through the production zero-copy paths (Encode → bufio → ReadMessage with
+// pooled payload recycling). The framing gate pins this at 0 allocs/op for
+// every payload size — including tiny payloads, which round up into the
+// smallest pool class.
+func BenchmarkCodecSteadyState(b *testing.B) {
+	for _, elems := range []int{8, 64, 4096, 32768} {
+		b.Run(strconv.Itoa(elems), func(b *testing.B) {
+			msg := Message{Type: MsgChunk, Iter: 1, Payload: make([]float64, elems)}
+			buf, err := Encode(nil, msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd := bytes.NewReader(buf)
+			br := bufio.NewReaderSize(rd, 1<<16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, err = Encode(buf[:0], msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rd.Reset(buf)
+				br.Reset(rd)
+				out, err := ReadMessage(br)
+				if err != nil {
+					b.Fatal(err)
+				}
+				PutPayload(out.Payload)
+			}
+		})
+	}
+}

@@ -42,6 +42,33 @@ func FuzzReadMessage(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	// v1 adversarial corpus: truncation at every header byte boundary, plus
+	// forged header fields (unknown version, unknown type, unknown flag bits,
+	// flag/len contradictions, absurd element counts, inconsistent prefix).
+	base, err := Encode(nil, Message{
+		Type: MsgReduce, Stream: 3, Iter: 11, Chunk: 2,
+		Payload: []float64{1, 2, 3, 4}, Indices: []int32{0, 5, 9, 12},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for cut := 0; cut <= frameHeaderBytes; cut++ {
+		f.Add(base[:cut])
+	}
+	forge := func(off int, b byte) []byte {
+		fr := append([]byte(nil), base...)
+		fr[off] = b
+		return fr
+	}
+	f.Add(forge(4, 0))     // version below v1
+	f.Add(forge(4, 0x7F))  // version far future
+	f.Add(forge(5, 0))     // type zero
+	f.Add(forge(5, 0x99))  // type unknown
+	f.Add(forge(6, 0xFF))  // unknown flag bits
+	f.Add(forge(6, 0))     // sparse flag cleared, len still sparse
+	f.Add(forge(0, 0x01))  // frameLen contradicts the header fields
+	f.Add(forge(32, 0xFF)) // nelems inflated
+	f.Add(forge(35, 0x7F)) // nelems beyond MaxPayloadElems
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := ReadMessage(bytes.NewReader(data))
@@ -81,6 +108,47 @@ func FuzzReadMessage(f *testing.F) {
 	})
 }
 
+// FuzzReadHello feeds arbitrary bytes to the hello parser and, end to end,
+// to the negotiating side of a live connection: no input may panic the
+// parser, and anything that is not a valid current-version hello must reject
+// the connection with ErrVersionMismatch.
+func FuzzReadHello(f *testing.F) {
+	var good [helloBytes]byte
+	putHello(good[:], ProtocolV1, CapsAll, 3)
+	f.Add(good[:])
+	future := good
+	future[4] = ProtocolV1 + 9
+	f.Add(future[:])
+	old := good
+	old[4] = 0
+	f.Add(old[:])
+	bad := good
+	bad[0] = 'X'
+	f.Add(bad[:])
+	f.Add([]byte{})
+	f.Add(good[:helloBytes-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < helloBytes {
+			return
+		}
+		version, caps, rank, err := parseHello(data[:helloBytes])
+		if err != nil {
+			if !errors.Is(err, ErrVersionMismatch) {
+				t.Fatalf("parse error not typed: %v", err)
+			}
+			return
+		}
+		// A parsed hello must re-encode to the same negotiation inputs.
+		var out [helloBytes]byte
+		putHello(out[:], version, caps, int(rank))
+		v2, c2, r2, err := parseHello(out[:])
+		if err != nil || v2 != version || c2 != caps || r2 != rank {
+			t.Fatalf("hello round trip: (%d,%v,%d,%v) vs (%d,%v,%d)", v2, c2, r2, err, version, caps, rank)
+		}
+	})
+}
+
 // TestReadMessageUnknownDtype: a frame advertising a dtype the decoder does
 // not know must fail with ErrUnknownDtype before any payload read, and the
 // encoder must refuse to produce such a frame in the first place.
@@ -89,7 +157,7 @@ func TestReadMessageUnknownDtype(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf[1] = 0x7E // dtype byte
+	buf[7] = 0x7E // dtype byte (v1 offset 7)
 	if _, err := ReadMessage(bytes.NewReader(buf)); !errors.Is(err, ErrUnknownDtype) {
 		t.Errorf("forged dtype error = %v, want ErrUnknownDtype", err)
 	}
@@ -112,10 +180,10 @@ func TestReadMessageTruncatedQuantized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := headerBytes + d.WireBytes(len(payload)); len(buf) != want {
+		if want := frameHeaderBytes + d.WireBytes(len(payload)); len(buf) != want {
 			t.Fatalf("dtype %v frame is %d bytes, want %d", d, len(buf), want)
 		}
-		for _, cut := range []int{headerBytes, headerBytes + 1, headerBytes + 9, len(buf) - 1} {
+		for _, cut := range []int{frameHeaderBytes, frameHeaderBytes + 1, frameHeaderBytes + 9, len(buf) - 1} {
 			if _, err := ReadMessage(bytes.NewReader(buf[:cut])); err == nil {
 				t.Errorf("dtype %v truncated at %d decoded without error", d, cut)
 			}

@@ -149,6 +149,14 @@ func (q *chanQueue) close() {
 	q.wake()
 }
 
+// isClosed reports whether close was called. Messages pushed before the
+// close may still be pending; pair with tryPop.
+func (q *chanQueue) isClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
 // LocalNetwork is an in-memory mesh fabric for n ranks within one process.
 // Endpoints returns one Mesh per rank; messages are delivered immediately
 // and in order.
@@ -270,8 +278,11 @@ func (m *localMesh) Send(to int, msg Message) error {
 		tensor.RoundTrip(msg.Dtype, p)
 	}
 	if msg.Indices != nil {
-		// Sparse index lists cross the real wire by value too.
-		msg.Indices = append([]int32(nil), msg.Indices...)
+		// Sparse index lists cross the real wire by value too; the copy
+		// lands in a pooled slice matching the wire decoder's behavior.
+		ix := GetIndices(len(msg.Indices))
+		copy(ix, msg.Indices)
+		msg.Indices = ix
 	}
 	return m.net.endpoints[to].queueFrom(m.rank).push(msg)
 }

@@ -3,9 +3,37 @@
 // in-memory mesh (goroutines + channels) for single-process clusters and a
 // TCP mesh (net) for multi-process deployments. Both satisfy the Mesh
 // interface consumed by the collective layer.
+//
+// On the wire every message travels as a frame of the explicit, versioned
+// frame protocol v1 (see frame.go for the writer and the layout rationale):
+//
+//	offset  size  field
+//	     0     4  frame length (bytes after this field)
+//	     4     1  protocol version (1)
+//	     5     1  message type
+//	     6     1  flags (bit0 sparse, bit1 compressed; others reserved)
+//	     7     1  payload dtype
+//	     8     4  stream id
+//	    12     4  sender rank
+//	    16     4  receiver rank
+//	    20     8  iteration tag
+//	    28     4  chunk tag
+//	    32     4  payload element count
+//	    36     …  indices (4·n bytes, present iff sparse flag) then payload
+//	              (Dtype.WireBytes(n) bytes)
+//
+// All fields are little-endian. The length prefix lets a receiver (or a
+// fuzzer) bound a frame before trusting any of its fields; the version byte
+// makes the format evolvable; the flags must agree with the dtype and the
+// length prefix or the frame is rejected — a frame can no longer express the
+// index/value mismatches the pre-v1 format had to check for. The stream id
+// moves tag-stream multiplexing into the transport: StreamDemux routes on
+// this field instead of packing stream bits into Iter's high bits, so the
+// full int64 iteration space belongs to the collective again.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,6 +58,9 @@ const (
 	// MsgReduce carries partial sums during tree and halving-doubling
 	// reductions (fold-in, recursive-halving and reduce-to-root traffic).
 	MsgReduce
+
+	// maxMsgType bounds the valid type range for the frame decoder.
+	maxMsgType = MsgReduce
 )
 
 // Message is the unit of exchange on a Mesh.
@@ -40,8 +71,15 @@ type Message struct {
 	From int32
 	// To is the receiver's rank.
 	To int32
+	// Stream is the logical tag stream the message belongs to (see
+	// stream.go). Zero — the default — is the stream plain Recv observes, so
+	// senders that never multiplex interoperate unchanged. The id travels in
+	// the frame header, so transports route concurrent collectives without
+	// touching the iteration tag.
+	Stream int32
 	// Iter tags the training iteration the message belongs to, so
-	// cross-iteration traffic cannot be confused.
+	// cross-iteration traffic cannot be confused. The full int64 range is
+	// usable: stream multiplexing no longer borrows its high bits.
 	Iter int64
 	// Chunk is the ring chunk index for MsgChunk traffic.
 	Chunk int32
@@ -62,14 +100,44 @@ type Message struct {
 	Indices []int32
 }
 
-// headerBytes: type(1) dtype(1) from(4) to(4) iter(8) chunk(4)
-// payload len(4) index count(4). The index-count field is appended after the
-// original fields so pre-sparse offsets are unchanged.
-const headerBytes = 1 + 1 + 4 + 4 + 8 + 4 + 4 + 4
+// Frame protocol constants.
+const (
+	// ProtocolV1 is the current (and oldest supported) frame protocol
+	// version. Every frame carries the negotiated version in its header.
+	ProtocolV1 = 1
+
+	// frameHeaderBytes is the full fixed header: the 4-byte length prefix
+	// plus 32 bytes of framing fields.
+	frameHeaderBytes = 36
+
+	// frameLenBase is the value of the length prefix for an empty frame:
+	// the header bytes that follow the prefix itself.
+	frameLenBase = frameHeaderBytes - 4
+)
+
+// Frame flag bits. Flags are redundant with other header fields by design
+// (sparse ⇔ indices present, compressed ⇔ dtype ≠ F64); the decoder rejects
+// any disagreement, so a corrupt header cannot smuggle one contradictory
+// claim past a check on the other.
+const (
+	// FlagSparse marks an index+value frame: 4·n index bytes precede the
+	// payload.
+	FlagSparse uint8 = 1 << 0
+	// FlagCompressed marks a payload whose wire dtype is narrower than f64.
+	FlagCompressed uint8 = 1 << 1
+
+	// flagsKnown is the set of assigned flag bits; anything else is a
+	// frame from the future (or garbage) and is rejected.
+	flagsKnown = FlagSparse | FlagCompressed
+)
 
 // MaxPayloadElems bounds a single message's payload to guard decoders
 // against corrupt or hostile length prefixes (128 MiB of float64s).
 const MaxPayloadElems = 16 << 20
+
+// maxFrameLen is the largest length prefix a conforming frame can carry:
+// a full sparse f64 payload plus the header remainder.
+const maxFrameLen = frameLenBase + MaxPayloadElems*(4+8)
 
 // ErrPayloadTooLarge is returned when encoding or decoding a message whose
 // payload exceeds MaxPayloadElems.
@@ -79,26 +147,145 @@ var ErrPayloadTooLarge = errors.New("transport: payload too large")
 // dtype byte is not a known wire encoding.
 var ErrUnknownDtype = errors.New("transport: unknown payload dtype")
 
-// ErrSparseMismatch is returned when a sparse message's index count does not
-// match its payload length.
+// ErrSparseMismatch is returned when encoding a sparse message whose index
+// count does not match its payload length. (The v1 frame format cannot
+// express the mismatch — sparse frames carry exactly one index per element —
+// so the decoder never needs it.)
 var ErrSparseMismatch = errors.New("transport: sparse index/value length mismatch")
 
-// Encode appends the wire form of m to buf and returns the extended slice.
-// The format is little-endian: type(1) dtype(1) from(4) to(4) iter(8)
-// chunk(4) len(4) nidx(4) indices(4·nidx bytes) payload(Dtype.WireBytes(len)
-// bytes). len counts ELEMENTS; the byte size of the payload follows from the
-// dtype. nidx is 0 for dense messages and must equal len for sparse ones.
-func Encode(buf []byte, m Message) ([]byte, error) {
+// ErrBadFrame is returned when a frame header is self-contradictory: a
+// length prefix that disagrees with the element count and flags, a flag bit
+// that disagrees with the dtype, an unknown type or flag, or a negative
+// stream id.
+var ErrBadFrame = errors.New("transport: malformed frame header")
+
+// frameBodyBytes returns the byte count of a frame's body (indices +
+// payload) for n payload elements.
+func frameBodyBytes(d tensor.Dtype, n int, sparse bool) int {
+	body := d.WireBytes(n)
+	if sparse {
+		body += 4 * n
+	}
+	return body
+}
+
+// FrameBytes returns the full v1 frame size of a dense f64 message with n
+// payload elements — the number benchmark and capacity math needs without
+// encoding anything.
+func FrameBytes(n int) int {
+	return frameHeaderBytes + frameBodyBytes(tensor.F64, n, false)
+}
+
+// frameFlags derives the v1 flag byte for a message.
+func frameFlags(m *Message) uint8 {
+	var f uint8
+	if m.Indices != nil {
+		f |= FlagSparse
+	}
+	if m.Dtype != tensor.F64 {
+		f |= FlagCompressed
+	}
+	return f
+}
+
+// checkEncodable validates the encoder-side invariants shared by Encode and
+// the frame writer.
+func checkEncodable(m *Message) error {
 	if len(m.Payload) > MaxPayloadElems {
-		return nil, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, len(m.Payload))
+		return fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, len(m.Payload))
 	}
 	if !m.Dtype.Valid() {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownDtype, m.Dtype)
+		return fmt.Errorf("%w: %d", ErrUnknownDtype, m.Dtype)
 	}
 	if m.Indices != nil && len(m.Indices) != len(m.Payload) {
-		return nil, fmt.Errorf("%w: %d indices, %d values", ErrSparseMismatch, len(m.Indices), len(m.Payload))
+		return fmt.Errorf("%w: %d indices, %d values", ErrSparseMismatch, len(m.Indices), len(m.Payload))
 	}
-	need := headerBytes + 4*len(m.Indices) + m.Dtype.WireBytes(len(m.Payload))
+	if m.Type == 0 || m.Type > maxMsgType {
+		return fmt.Errorf("%w: type %d", ErrBadFrame, m.Type)
+	}
+	if m.Stream < 0 {
+		return fmt.Errorf("%w: negative stream %d", ErrBadFrame, m.Stream)
+	}
+	return nil
+}
+
+// putFrameHeader writes the fixed v1 header into b (len(b) must be at least
+// frameHeaderBytes) for a message with n payload elements.
+func putFrameHeader(b []byte, m *Message, n int) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(frameLenBase+frameBodyBytes(m.Dtype, n, m.Indices != nil)))
+	b[4] = ProtocolV1
+	b[5] = byte(m.Type)
+	b[6] = frameFlags(m)
+	b[7] = byte(m.Dtype)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.Stream))
+	binary.LittleEndian.PutUint32(b[12:], uint32(m.From))
+	binary.LittleEndian.PutUint32(b[16:], uint32(m.To))
+	binary.LittleEndian.PutUint64(b[20:], uint64(m.Iter))
+	binary.LittleEndian.PutUint32(b[28:], uint32(m.Chunk))
+	binary.LittleEndian.PutUint32(b[32:], uint32(n))
+}
+
+// parseFrameHeader validates a fixed header and returns the decoded message
+// shell (no body) plus the element count.
+func parseFrameHeader(hdr []byte) (Message, int, error) {
+	frameLen := binary.LittleEndian.Uint32(hdr[0:])
+	if hdr[4] != ProtocolV1 {
+		return Message{}, 0, fmt.Errorf("%w: frame version %d, speaking v%d", ErrVersionMismatch, hdr[4], ProtocolV1)
+	}
+	m := Message{
+		Type:   MsgType(hdr[5]),
+		Dtype:  tensor.Dtype(hdr[7]),
+		Stream: int32(binary.LittleEndian.Uint32(hdr[8:])),
+		From:   int32(binary.LittleEndian.Uint32(hdr[12:])),
+		To:     int32(binary.LittleEndian.Uint32(hdr[16:])),
+		Iter:   int64(binary.LittleEndian.Uint64(hdr[20:])),
+		Chunk:  int32(binary.LittleEndian.Uint32(hdr[28:])),
+	}
+	flags := hdr[6]
+	if m.Type == 0 || m.Type > maxMsgType {
+		return Message{}, 0, fmt.Errorf("%w: type %d", ErrBadFrame, m.Type)
+	}
+	if flags&^flagsKnown != 0 {
+		return Message{}, 0, fmt.Errorf("%w: unknown flags %#02x", ErrBadFrame, flags)
+	}
+	if !m.Dtype.Valid() {
+		return Message{}, 0, fmt.Errorf("%w: %d", ErrUnknownDtype, hdr[7])
+	}
+	if compressed := m.Dtype != tensor.F64; compressed != (flags&FlagCompressed != 0) {
+		return Message{}, 0, fmt.Errorf("%w: dtype %v vs compressed flag %t", ErrBadFrame, m.Dtype, !compressed)
+	}
+	if m.Stream < 0 {
+		return Message{}, 0, fmt.Errorf("%w: negative stream %d", ErrBadFrame, m.Stream)
+	}
+	n := binary.LittleEndian.Uint32(hdr[32:])
+	if n > MaxPayloadElems {
+		return Message{}, 0, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
+	}
+	sparse := flags&FlagSparse != 0
+	if want := uint32(frameLenBase + frameBodyBytes(m.Dtype, int(n), sparse)); frameLen != want {
+		return Message{}, 0, fmt.Errorf("%w: frame len %d, header implies %d", ErrBadFrame, frameLen, want)
+	}
+	if sparse {
+		// Mark the shell sparse; the caller materializes the slice.
+		m.Indices = emptyIndices
+	}
+	return m, int(n), nil
+}
+
+// emptyIndices is the non-nil zero-length marker a sparse frame shell
+// carries before its index list is materialized (and after, when n == 0).
+var emptyIndices = make([]int32, 0)
+
+// Encode appends the v1 wire frame of m to buf and returns the extended
+// slice. The hot transport path uses the vectored frame writer instead (see
+// frame.go); Encode is the reference serializer shared by tests, fuzzers and
+// loopback-free callers.
+func Encode(buf []byte, m Message) ([]byte, error) {
+	if err := checkEncodable(&m); err != nil {
+		return nil, err
+	}
+	n := len(m.Payload)
+	need := frameHeaderBytes + frameBodyBytes(m.Dtype, n, m.Indices != nil)
 	off := len(buf)
 	if cap(buf)-off < need {
 		grown := make([]byte, off, off+need)
@@ -107,35 +294,24 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	}
 	buf = buf[:off+need]
 	b := buf[off:]
-	b[0] = byte(m.Type)
-	b[1] = byte(m.Dtype)
-	binary.LittleEndian.PutUint32(b[2:], uint32(m.From))
-	binary.LittleEndian.PutUint32(b[6:], uint32(m.To))
-	binary.LittleEndian.PutUint64(b[10:], uint64(m.Iter))
-	binary.LittleEndian.PutUint32(b[18:], uint32(m.Chunk))
-	binary.LittleEndian.PutUint32(b[22:], uint32(len(m.Payload)))
-	binary.LittleEndian.PutUint32(b[26:], uint32(len(m.Indices)))
-	p := b[headerBytes:]
-	for i, ix := range m.Indices {
-		binary.LittleEndian.PutUint32(p[i*4:], uint32(ix))
+	putFrameHeader(b, &m, n)
+	p := b[frameHeaderBytes:]
+	if m.Indices != nil {
+		encodeIndices(p, m.Indices)
+		p = p[4*n:]
 	}
-	p = p[4*len(m.Indices):]
-	if m.Dtype == tensor.F64 {
-		for i, f := range m.Payload {
-			binary.LittleEndian.PutUint64(p[i*8:], math.Float64bits(f))
-		}
-	} else if len(m.Payload) > 0 {
-		tensor.Pack(m.Dtype, p, m.Payload)
+	if n > 0 {
+		encodePayload(p, m.Dtype, m.Payload)
 	}
 	return buf, nil
 }
 
 // encodeBufs recycles wire-format scratch buffers across sends; readBufs
-// recycles the raw payload staging buffer on the receive side.
+// recycles the staging buffer quantized (non-f64) payloads decode through.
 var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 var readBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
-// WriteMessage writes one encoded message to w, staging the wire bytes in a
+// WriteMessage writes one encoded frame to w, staging the wire bytes in a
 // pooled scratch buffer so the encode allocates nothing steady-state.
 func WriteMessage(w io.Writer, m Message) error {
 	bp := encodeBufs.Get().(*[]byte)
@@ -150,70 +326,211 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads one message from r. It returns io.EOF unchanged on a
-// clean end-of-stream before any header byte.
+// ReadMessage reads one v1 frame from r. It returns io.EOF unchanged on a
+// clean end-of-stream before any header byte. When r is a *bufio.Reader the
+// decode is zero-copy: f64 payloads and index lists are decoded straight
+// from the peek window into pooled buffers, with no raw staging copy. Any
+// other reader gets the exact-read path, which consumes precisely one
+// frame's bytes and not one more — callers may keep using r for whatever
+// follows the frame.
 func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [headerBytes]byte
+	if br, ok := r.(*bufio.Reader); ok {
+		return readFrame(br)
+	}
+	return readFrameExact(r)
+}
+
+// readFrameExact decodes one frame reading exactly its bytes from r: the
+// fixed header, then the body staged through a pooled buffer. This is the
+// reference decode path for non-buffered readers; the TCP hot path uses
+// readFrame's peek-window decode instead.
+func readFrameExact(r io.Reader) (Message, error) {
+	var hdr [frameHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
 			return Message{}, io.EOF
 		}
-		return Message{}, fmt.Errorf("transport: read header: %w", err)
+		return Message{}, fmt.Errorf("transport: read frame header: %w", err)
 	}
-	m := Message{
-		Type:  MsgType(hdr[0]),
-		Dtype: tensor.Dtype(hdr[1]),
-		From:  int32(binary.LittleEndian.Uint32(hdr[2:])),
-		To:    int32(binary.LittleEndian.Uint32(hdr[6:])),
-		Iter:  int64(binary.LittleEndian.Uint64(hdr[10:])),
-		Chunk: int32(binary.LittleEndian.Uint32(hdr[18:])),
+	m, n, err := parseFrameHeader(hdr[:])
+	if err != nil {
+		return Message{}, err
 	}
-	if !m.Dtype.Valid() {
-		return Message{}, fmt.Errorf("%w: %d", ErrUnknownDtype, hdr[1])
+	body := frameBodyBytes(m.Dtype, n, m.Indices != nil)
+	bp := readBufs.Get().(*[]byte)
+	raw := *bp
+	if cap(raw) < body {
+		raw = make([]byte, body)
 	}
-	n := binary.LittleEndian.Uint32(hdr[22:])
-	if n > MaxPayloadElems {
-		return Message{}, fmt.Errorf("%w: %d elems", ErrPayloadTooLarge, n)
+	raw = raw[:body]
+	*bp = raw[:0]
+	defer readBufs.Put(bp)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Message{}, fmt.Errorf("transport: read frame body: %w", err)
 	}
-	nidx := binary.LittleEndian.Uint32(hdr[26:])
-	if nidx != 0 && nidx != n {
-		return Message{}, fmt.Errorf("%w: %d indices, %d values", ErrSparseMismatch, nidx, n)
-	}
-	if nidx > 0 {
-		raw := make([]byte, 4*nidx)
-		if _, err := io.ReadFull(r, raw); err != nil {
-			return Message{}, fmt.Errorf("transport: read indices: %w", err)
+	rest := raw
+	if m.Indices != nil && n > 0 {
+		idx := GetIndices(n)
+		for i := range idx {
+			idx[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
 		}
-		m.Indices = make([]int32, nidx)
-		for i := range m.Indices {
-			m.Indices[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
-		}
+		m.Indices = idx
+		rest = rest[4*n:]
 	}
 	if n > 0 {
-		wire := m.Dtype.WireBytes(int(n))
+		payload := GetPayload(n)
+		if m.Dtype == tensor.F64 {
+			if view := f64Bytes(payload); view != nil {
+				copy(view, rest)
+			} else {
+				for i := range payload {
+					payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+				}
+			}
+		} else {
+			tensor.Unpack(m.Dtype, payload, rest)
+		}
+		m.Payload = payload
+	}
+	return m, nil
+}
+
+// readFrame decodes one frame from br. See ReadMessage for the contract.
+func readFrame(br *bufio.Reader) (Message, error) {
+	var d frameDecoder
+	msg, _, err := d.step(br)
+	if err != nil {
+		d.abort()
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// frameDecoder incrementally decodes v1 frames, retaining progress across
+// calls. The TCP mesh keeps one per connection so a decode that times out
+// mid-frame — the write-stall drain reads under a short deadline — resumes
+// exactly where the bytes ran out instead of abandoning the frame. Every
+// stage is restartable: a partial header stays buffered in the bufio
+// window, and the index/payload fills record how many whole elements have
+// landed in their pooled destination buffers.
+//
+// Only one reader may touch a decoder at a time (the mesh's per-connection
+// read election guarantees that). After a non-timeout error the stream is
+// unframed garbage; call abort to release partial buffers and tear the
+// connection down.
+type frameDecoder struct {
+	active bool    // header parsed; msg/n describe the frame in progress
+	msg    Message // header fields; Indices/Payload filled as bytes arrive
+	n      int     // payload elements expected
+	idxOff int     // index elements decoded so far
+	payOff int     // f64 payload elements decoded so far
+	rawOff int     // staged bytes read so far (quantized payloads)
+	rawBox *[]byte // pooled staging buffer for quantized payloads
+}
+
+// step advances the decode as far as br can supply bytes. It returns
+// (msg, true, nil) with a complete frame, or an error: a net.Error timeout
+// means the source ran dry mid-frame and step may be called again once more
+// bytes arrive; anything else is fatal to the stream. io.EOF is returned
+// unchanged only on a clean end-of-stream before any frame byte.
+func (d *frameDecoder) step(br *bufio.Reader) (Message, bool, error) {
+	if !d.active {
+		// Peek instead of ReadFull: the header is parsed in place in the
+		// bufio window, so the hot path allocates nothing (a stack header
+		// buffer would escape through the io.Reader interface).
+		hdr, err := br.Peek(frameHeaderBytes)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				if len(hdr) == 0 {
+					return Message{}, false, io.EOF
+				}
+				err = io.ErrUnexpectedEOF
+			}
+			return Message{}, false, fmt.Errorf("transport: read frame header: %w", err)
+		}
+		m, n, err := parseFrameHeader(hdr)
+		if _, derr := br.Discard(frameHeaderBytes); derr != nil && err == nil {
+			return Message{}, false, fmt.Errorf("transport: read frame header: %w", derr)
+		}
+		if err != nil {
+			return Message{}, false, err
+		}
+		d.active, d.msg, d.n = true, m, n
+		d.idxOff, d.payOff, d.rawOff = 0, 0, 0
+		if n > 0 {
+			if m.Indices != nil {
+				d.msg.Indices = GetIndices(n)
+			}
+			// The decoded payload comes from the shared pool; the receiver
+			// owns it and may release it with PutPayload once consumed.
+			d.msg.Payload = GetPayload(n)
+		}
+	}
+	if d.n > 0 && d.msg.Indices != nil && d.idxOff < d.n {
+		k, err := decodeIndicesFrom(br, d.msg.Indices[d.idxOff:])
+		d.idxOff += k
+		if err != nil {
+			return Message{}, false, fmt.Errorf("transport: read indices: %w", err)
+		}
+	}
+	if d.n > 0 {
+		if d.msg.Dtype == tensor.F64 {
+			k, err := decodeF64From(br, d.msg.Payload[d.payOff:])
+			d.payOff += k
+			if err != nil {
+				return Message{}, false, fmt.Errorf("transport: read payload: %w", err)
+			}
+		} else if err := d.stagePacked(br); err != nil {
+			return Message{}, false, fmt.Errorf("transport: read payload: %w", err)
+		}
+	}
+	msg := d.msg
+	*d = frameDecoder{}
+	return msg, true, nil
+}
+
+// stagePacked accumulates a quantized payload's wire bytes into the pooled
+// staging buffer and unpacks once complete (block dtypes want the whole run
+// contiguous). Partial fills persist in rawBox across calls.
+func (d *frameDecoder) stagePacked(br *bufio.Reader) error {
+	wire := d.msg.Dtype.WireBytes(d.n)
+	if d.rawBox == nil {
 		bp := readBufs.Get().(*[]byte)
 		raw := *bp
 		if cap(raw) < wire {
 			raw = make([]byte, wire)
 		}
-		raw = raw[:wire]
-		if _, err := io.ReadFull(r, raw); err != nil {
-			*bp = raw[:0]
-			readBufs.Put(bp)
-			return Message{}, fmt.Errorf("transport: read payload: %w", err)
-		}
-		// The decoded payload comes from the shared pool; the receiver
-		// owns it and may release it with PutPayload once consumed.
-		m.Payload = GetPayload(int(n))
-		if m.Dtype == tensor.F64 {
-			for i := range m.Payload {
-				m.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
-			}
-		} else {
-			tensor.Unpack(m.Dtype, m.Payload, raw)
-		}
-		*bp = raw[:0]
-		readBufs.Put(bp)
+		*bp = raw[:wire]
+		d.rawBox = bp
 	}
-	return m, nil
+	raw := *d.rawBox
+	for d.rawOff < wire {
+		k, err := br.Read(raw[d.rawOff:wire])
+		d.rawOff += k
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	tensor.Unpack(d.msg.Dtype, d.msg.Payload, raw[:wire])
+	*d.rawBox = raw[:0]
+	readBufs.Put(d.rawBox)
+	d.rawBox = nil
+	return nil
+}
+
+// abort releases any partially-decoded frame's pooled buffers and resets
+// the decoder. Call it when the stream is being torn down (or after a fatal
+// step error); the decoder cannot resync mid-stream.
+func (d *frameDecoder) abort() {
+	if d.rawBox != nil {
+		readBufs.Put(d.rawBox)
+	}
+	if d.active {
+		PutPayload(d.msg.Payload)
+		PutIndices(d.msg.Indices)
+	}
+	*d = frameDecoder{}
 }

@@ -31,9 +31,16 @@ import (
 // other: class c holds slices with cap ≥ 1<<c, Get rounds the request up,
 // Put files a slice under the largest class its capacity covers.
 
-// minPooledElems is the smallest payload worth pooling; below this the
-// allocator is effectively free and pool bookkeeping would dominate.
+// minPooledElems is the smallest buffer the pools hold. Requests below it
+// are rounded UP to this capacity and served from the smallest class: tiny
+// payloads (ring chunks of a few elements, control-sized frames) are the
+// per-message steady state of small-tensor collectives, and handing them a
+// pooled 64-element buffer keeps the receive path at zero allocations where
+// an exact-size make would allocate per message.
 const minPooledElems = 64
+
+// minPoolClass is the class that holds minPooledElems-capacity buffers.
+const minPoolClass = 6
 
 // maxPoolClass covers MaxPayloadElems (16M elems = 1<<24).
 const maxPoolClass = 24
@@ -60,8 +67,11 @@ func GetPayload(n int) []float64 {
 		return nil
 	}
 	c := poolClass(n)
-	if n < minPooledElems || c > maxPoolClass {
+	if c > maxPoolClass {
 		return make([]float64, n)
+	}
+	if c < minPoolClass {
+		c = minPoolClass // round tiny requests up to the smallest class
 	}
 	if hp, ok := payloadPools[c].Get().(*[]float64); ok {
 		p := *hp
@@ -101,4 +111,54 @@ func capClass(c int) int {
 		return -1
 	}
 	return class
+}
+
+// Index-list pooling: the int32 analogue of the payload pools, recycling the
+// index halves of sparse (top-k) messages. Same bucketing, same ownership
+// contract — the receiver of a sparse message owns msg.Indices and MAY hand
+// it back with PutIndices; the loopback send path and the wire decoder draw
+// from here so steady-state sparse traffic allocates nothing.
+
+var indexPools [maxPoolClass + 1]sync.Pool
+
+// indexHeaderPool recycles the *[]int32 boxes the index pools store (see
+// headerPool).
+var indexHeaderPool sync.Pool
+
+// GetIndices returns an int32 slice of length n, recycled when possible.
+// Contents are NOT zeroed.
+func GetIndices(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	c := poolClass(n)
+	if c > maxPoolClass {
+		return make([]int32, n)
+	}
+	if c < minPoolClass {
+		c = minPoolClass // round tiny requests up to the smallest class
+	}
+	if hp, ok := indexPools[c].Get().(*[]int32); ok {
+		p := *hp
+		*hp = nil
+		indexHeaderPool.Put(hp)
+		return p[:n]
+	}
+	return make([]int32, n, 1<<c)
+}
+
+// PutIndices recycles p for a future GetIndices. Small, nil, or oversized
+// slices are dropped silently; never call it on a slice still referenced
+// elsewhere.
+func PutIndices(p []int32) {
+	c := capClass(cap(p))
+	if c < 0 {
+		return
+	}
+	hp, _ := indexHeaderPool.Get().(*[]int32)
+	if hp == nil {
+		hp = new([]int32)
+	}
+	*hp = p[:cap(p)]
+	indexPools[c].Put(hp)
 }

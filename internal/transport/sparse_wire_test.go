@@ -35,7 +35,7 @@ func TestSparseMessageRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := headerBytes + 4*len(msg.Indices) + d.WireBytes(len(msg.Payload)); len(buf) != want {
+		if want := frameHeaderBytes + 4*len(msg.Indices) + d.WireBytes(len(msg.Payload)); len(buf) != want {
 			t.Fatalf("dtype %v sparse frame is %d bytes, want %d", d, len(buf), want)
 		}
 		got, err := ReadMessage(bytes.NewReader(buf))
@@ -79,13 +79,13 @@ func TestSparseMessageTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	cuts := []int{
-		headerBytes - 1,         // inside the header
-		headerBytes,             // before any index byte
-		headerBytes + 1,         // mid-index
-		headerBytes + 4*16 - 2,  // last index cut short
-		headerBytes + 4*16,      // indices intact, payload missing
-		headerBytes + 4*16 + 11, // mid-value
-		len(buf) - 1,            // one byte short
+		frameHeaderBytes - 1,         // inside the header
+		frameHeaderBytes,             // before any index byte
+		frameHeaderBytes + 1,         // mid-index
+		frameHeaderBytes + 4*16 - 2,  // last index cut short
+		frameHeaderBytes + 4*16,      // indices intact, payload missing
+		frameHeaderBytes + 4*16 + 11, // mid-value
+		len(buf) - 1,                 // one byte short
 	}
 	for _, cut := range cuts {
 		if _, err := ReadMessage(bytes.NewReader(buf[:cut])); err == nil {
@@ -97,34 +97,42 @@ func TestSparseMessageTruncated(t *testing.T) {
 	}
 }
 
-// TestSparseMessageGarbageCounts: forged headers whose index count
-// disagrees with the payload length, or exceeds the global payload bound,
-// must be rejected before any allocation-scale damage.
+// TestSparseMessageGarbageCounts: the v1 frame cannot EXPRESS an
+// index/value count mismatch (sparse frames carry exactly one index per
+// element), so the forgeries that remain are flag/length contradictions and
+// absurd element counts — all of which must be rejected before any
+// allocation-scale damage.
 func TestSparseMessageGarbageCounts(t *testing.T) {
 	msg := sparseSeed(8)
 	buf, err := Encode(nil, msg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	forge := func(nidx uint32) []byte {
-		f := append([]byte(nil), buf...)
-		binary.LittleEndian.PutUint32(f[26:], nidx)
-		return f
-	}
-	if _, err := ReadMessage(bytes.NewReader(forge(7))); !errors.Is(err, ErrSparseMismatch) {
-		t.Errorf("nidx<len error = %v, want ErrSparseMismatch", err)
-	}
-	if _, err := ReadMessage(bytes.NewReader(forge(9))); !errors.Is(err, ErrSparseMismatch) {
-		t.Errorf("nidx>len error = %v, want ErrSparseMismatch", err)
-	}
-	// nidx == len(payload) but the count is absurd: the payload-length bound
-	// fires first on the forged len field.
+	// Clearing the sparse flag leaves a frame whose length prefix still
+	// includes the index bytes: a flag/len contradiction.
 	f := append([]byte(nil), buf...)
-	binary.LittleEndian.PutUint32(f[22:], MaxPayloadElems+1)
-	binary.LittleEndian.PutUint32(f[26:], MaxPayloadElems+1)
+	f[6] &^= FlagSparse
+	if _, err := ReadMessage(bytes.NewReader(f)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("cleared sparse flag error = %v, want ErrBadFrame", err)
+	}
+	// Setting the sparse flag on a dense frame is the mirror-image forgery.
+	dense, err := Encode(nil, Message{Type: MsgChunk, Payload: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense[6] |= FlagSparse
+	if _, err := ReadMessage(bytes.NewReader(dense)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("forged sparse flag error = %v, want ErrBadFrame", err)
+	}
+	// An absurd element count trips the global bound before the length
+	// prefix is even consulted.
+	f = append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(f[32:], MaxPayloadElems+1)
 	if _, err := ReadMessage(bytes.NewReader(f)); !errors.Is(err, ErrPayloadTooLarge) {
 		t.Errorf("oversized sparse frame error = %v, want ErrPayloadTooLarge", err)
 	}
+	// The encoder still refuses a caller-side mismatch (see
+	// TestSparseMessageEncodeMismatch); the wire simply cannot carry one.
 }
 
 // TestSparseSendThroughLocalMesh: the in-memory mesh must deliver sparse

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 )
@@ -13,17 +12,22 @@ import (
 // one collective at a time and exactly wrong for concurrent collectives —
 // two in-flight ring reductions on one mesh would steal each other's
 // messages off the shared per-peer queue. The overlap reducer needs several
-// bucket collectives in flight at once, so the transport grows tag streams:
-// independent virtual FIFOs multiplexed over one mesh.
+// bucket collectives in flight at once, so the transport provides tag
+// streams: independent virtual FIFOs multiplexed over one mesh, identified
+// by the Message.Stream field (a first-class header field of the v1 frame
+// format — stream routing no longer borrows Iter's high bits, and the full
+// int64 iteration space belongs to the collective).
 //
-// A stream id rides in the high bits of the Message.Iter field — the wire
-// format is unchanged, and collectives keep their full (Iter, Chunk) tag
-// arithmetic inside a stream. StreamDemux wraps a parent mesh; Stream(id)
-// returns a Mesh view that stamps the id on sends and, on receive, pops
-// only messages carrying its id. Routing is pull-driven and cooperative:
-// whichever stream needs a message drains the parent queue under a per-peer
-// election, delivering strays to their owning stream's queue, so no pump
-// goroutine exists and an idle demux costs nothing.
+// Transports that route streams natively implement StreamRouter: the TCP
+// mesh demultiplexes on the frame header as frames leave the socket, with no
+// wrapper layer at all. For meshes without native routing (the in-memory
+// mesh), StreamDemux supplies the same semantics cooperatively on top of
+// plain Recv. Streams(m) picks whichever the mesh supports.
+//
+// The demux's routing is pull-driven and cooperative: whichever stream needs
+// a message drains the parent queue under a per-peer election, delivering
+// strays to their owning stream's queue, so no pump goroutine exists and an
+// idle demux costs nothing.
 //
 // The election must be selectable, not a mutex: the elected puller may block
 // in parent.Recv indefinitely (its own message simply hasn't been sent yet)
@@ -34,32 +38,24 @@ import (
 // queue's wake channel against the pull semaphore, so a routed delivery
 // always unblocks its owner even while the puller stays parked.
 
-// streamIterBits is how many low bits of Iter remain for the collective's
-// own iteration tag; the high bits carry the stream id.
-const streamIterBits = 48
-
-// MaxStreamIter is the exclusive upper bound on iteration tags usable
-// within a stream.
-const MaxStreamIter = int64(1) << streamIterBits
-
-// ErrIterOverflow is returned when an iteration tag does not fit the
-// stream-multiplexed Iter space (negative or ≥ MaxStreamIter): packing it
-// would alias another stream's messages onto this one.
-var ErrIterOverflow = errors.New("transport: iter outside stream tag space")
-
-// packStreamIter folds a stream id into the high bits of an iteration tag.
-func packStreamIter(stream int32, iter int64) (int64, error) {
-	if iter < 0 || iter >= MaxStreamIter {
-		return 0, fmt.Errorf("%w: iter %d", ErrIterOverflow, iter)
-	}
-	return int64(stream)<<streamIterBits | iter, nil
+// StreamRouter is an optional Mesh capability: StreamView returns a Mesh
+// view whose traffic travels on logical stream id (id ≥ 0), fully isolated
+// from other streams' traffic on the same mesh. Stream 0 is the view plain
+// Send/Recv already speak.
+type StreamRouter interface {
+	StreamView(id int32) Mesh
 }
 
-// unpackStreamIter splits a packed Iter into (stream, iter). Messages sent
-// outside any stream (iter < MaxStreamIter) decode as stream 0, so legacy
-// senders interoperate with a demux listening on Stream(0).
-func unpackStreamIter(packed int64) (int32, int64) {
-	return int32(packed >> streamIterBits), packed & (MaxStreamIter - 1)
+// Streams returns a stream router for m: the mesh's own native router when
+// it implements StreamRouter (TCPMesh routes on the frame header; SubMesh
+// forwards to a native parent), and a cooperative StreamDemux otherwise.
+// The mesh's receive side belongs to the router's views afterwards — raw
+// m.Recv calls must not be mixed with stream Recvs on demux-backed meshes.
+func Streams(m Mesh) StreamRouter {
+	if sr, ok := m.(StreamRouter); ok {
+		return sr
+	}
+	return NewStreamDemux(m)
 }
 
 // StreamDemux multiplexes independent tag streams over one parent Mesh.
@@ -83,8 +79,11 @@ type StreamDemux struct {
 	queues map[uint64]*chanQueue // (stream, peer) -> routed messages
 }
 
+var _ StreamRouter = (*StreamDemux)(nil)
+
 // NewStreamDemux wraps parent for tag-stream use. The parent must not be
-// receiving elsewhere while streams are active.
+// receiving elsewhere while streams are active. Prefer Streams(), which
+// skips the wrapper entirely when the parent routes natively.
 func NewStreamDemux(parent Mesh) *StreamDemux {
 	d := &StreamDemux{
 		parent: parent,
@@ -98,10 +97,20 @@ func NewStreamDemux(parent Mesh) *StreamDemux {
 }
 
 // Stream returns the mesh view for stream id (id ≥ 0). Views are cheap and
-// stateless; the per-peer queues are created lazily on first routing.
+// stateless; the per-peer queues are created lazily on first routing. When
+// the parent routes streams natively, its own view is returned — a demux
+// layered over a native router would never see the frames it waits for (the
+// parent files them under its own stream queues before the demux's
+// parent.Recv could observe them).
 func (d *StreamDemux) Stream(id int32) Mesh {
+	if sr, ok := d.parent.(StreamRouter); ok {
+		return sr.StreamView(id)
+	}
 	return &streamMesh{d: d, id: id}
 }
+
+// StreamView implements StreamRouter.
+func (d *StreamDemux) StreamView(id int32) Mesh { return d.Stream(id) }
 
 func streamKey(stream int32, peer int) uint64 {
 	return uint64(uint32(stream))<<32 | uint64(uint32(peer))
@@ -135,26 +144,15 @@ var (
 func (s *streamMesh) Rank() int { return s.d.parent.Rank() }
 func (s *streamMesh) Size() int { return s.d.parent.Size() }
 
-// Send stamps the stream id into the message's Iter and forwards to the
-// parent.
+// Send stamps the stream id on the message and forwards to the parent.
 func (s *streamMesh) Send(to int, msg Message) error {
-	packed, err := packStreamIter(s.id, msg.Iter)
-	if err != nil {
-		return err
-	}
-	msg.Iter = packed
+	msg.Stream = s.id
 	return s.d.parent.Send(to, msg)
 }
 
-// SendOwned implements OwnedSender; the payload is released even when the
-// iter does not fit the stream tag space, honoring the ownership contract.
+// SendOwned implements OwnedSender.
 func (s *streamMesh) SendOwned(to int, msg Message) error {
-	packed, err := packStreamIter(s.id, msg.Iter)
-	if err != nil {
-		PutPayload(msg.Payload)
-		return err
-	}
-	msg.Iter = packed
+	msg.Stream = s.id
 	return SendOwned(s.d.parent, to, msg)
 }
 
@@ -206,13 +204,11 @@ func (s *streamMesh) drainOne(own *chanQueue, from int) (Message, bool, error) {
 	if err != nil {
 		return Message{}, false, err
 	}
-	stream, iter := unpackStreamIter(msg.Iter)
-	msg.Iter = iter
-	if stream == s.id {
+	if msg.Stream == s.id {
 		return msg, true, nil
 	}
 	// The push cannot fail — demux queues never close.
-	_ = s.d.queue(stream, from).push(msg)
+	_ = s.d.queue(msg.Stream, from).push(msg)
 	return Message{}, false, nil
 }
 

@@ -1,46 +1,69 @@
 package transport
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
 )
 
-func TestPackStreamIterRoundTrip(t *testing.T) {
+// TestStreamFieldWireRoundTrip: the stream id travels in its own frame
+// header field — it must round-trip the wire codec exactly, alongside the
+// full int64 iter range the old high-bit packing could not carry.
+func TestStreamFieldWireRoundTrip(t *testing.T) {
 	cases := []struct {
 		stream int32
 		iter   int64
 	}{
-		{0, 0}, {0, 1}, {1, 0}, {7, 42}, {1000, MaxStreamIter - 1}, {32767, 123456789},
+		{0, 0}, {0, 1}, {1, 0}, {7, 42}, {1000, -3}, {32767, 123456789},
+		{5, 1 << 62}, {2, math.MaxInt64}, {9, math.MinInt64},
 	}
 	for _, c := range cases {
-		packed, err := packStreamIter(c.stream, c.iter)
+		buf, err := Encode(nil, Message{Type: MsgChunk, Stream: c.stream, Iter: c.iter})
 		if err != nil {
-			t.Fatalf("pack(%d, %d): %v", c.stream, c.iter, err)
+			t.Fatalf("encode(stream=%d, iter=%d): %v", c.stream, c.iter, err)
 		}
-		s, i := unpackStreamIter(packed)
-		if s != c.stream || i != c.iter {
-			t.Errorf("pack(%d, %d) -> unpack (%d, %d)", c.stream, c.iter, s, i)
+		got, err := ReadMessage(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("decode(stream=%d, iter=%d): %v", c.stream, c.iter, err)
+		}
+		if got.Stream != c.stream || got.Iter != c.iter {
+			t.Errorf("round trip (stream=%d, iter=%d) -> (%d, %d)", c.stream, c.iter, got.Stream, got.Iter)
 		}
 	}
-	// Stream 0 packing is the identity: legacy senders that never pack
-	// interoperate with a demux listening on stream 0.
-	packed, err := packStreamIter(0, 99)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if packed != 99 {
-		t.Errorf("stream-0 pack(99) = %d", packed)
+	// Negative stream ids are unrepresentable by contract: the encoder
+	// refuses them rather than aliasing into the unsigned wire field.
+	if _, err := Encode(nil, Message{Type: MsgChunk, Stream: -1}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative stream encode err = %v, want ErrBadFrame", err)
 	}
 }
 
-func TestPackStreamIterOverflow(t *testing.T) {
-	for _, iter := range []int64{-1, MaxStreamIter, MaxStreamIter + 5} {
-		if _, err := packStreamIter(3, iter); !errors.Is(err, ErrIterOverflow) {
-			t.Errorf("iter %d: err = %v, want ErrIterOverflow", iter, err)
+// TestStreamsHelperPicksNativeRouter: Streams() must hand back the mesh's
+// own router when the transport routes stream frames natively, and fall back
+// to a demux otherwise.
+func TestStreamsHelperPicksNativeRouter(t *testing.T) {
+	meshes, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
 		}
+	}()
+	if _, ok := Streams(meshes[0]).(*TCPMesh); !ok {
+		t.Errorf("Streams(TCPMesh) = %T, want the mesh itself", Streams(meshes[0]))
+	}
+	net, err := NewLocalNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	if _, ok := Streams(net.endpoints[0]).(*StreamDemux); !ok {
+		t.Errorf("Streams(localMesh) = %T, want *StreamDemux", Streams(net.endpoints[0]))
 	}
 }
 
@@ -178,21 +201,33 @@ func TestStreamDemuxPayloadRouting(t *testing.T) {
 	}
 }
 
-// TestStreamDemuxSendOverflow: a stream view rejects iters outside the tag
-// space on both send paths, releasing owned payloads.
-func TestStreamDemuxSendOverflow(t *testing.T) {
+// TestStreamDemuxFullIterRange: stream views no longer steal Iter's high
+// bits, so iters the old packing rejected must now flow through a view on
+// both send paths.
+func TestStreamDemuxFullIterRange(t *testing.T) {
 	net, err := NewLocalNetwork(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = net.Close() }()
-	v := NewStreamDemux(net.endpoints[0]).Stream(1)
-	if err := v.Send(1, Message{Iter: MaxStreamIter}); !errors.Is(err, ErrIterOverflow) {
-		t.Errorf("Send err = %v", err)
+	d0 := NewStreamDemux(net.endpoints[0])
+	d1 := NewStreamDemux(net.endpoints[1])
+	v := d1.Stream(1)
+	if err := v.Send(0, Message{Type: MsgChunk, Iter: math.MaxInt64}); err != nil {
+		t.Fatalf("Send err = %v", err)
 	}
 	pay := GetPayload(4)
-	if err := v.(OwnedSender).SendOwned(1, Message{Iter: -1, Payload: pay}); !errors.Is(err, ErrIterOverflow) {
-		t.Errorf("SendOwned err = %v", err)
+	if err := v.(OwnedSender).SendOwned(0, Message{Type: MsgChunk, Iter: -1, Payload: pay}); err != nil {
+		t.Fatalf("SendOwned err = %v", err)
+	}
+	for _, want := range []int64{math.MaxInt64, -1} {
+		msg, err := d0.Stream(1).Recv(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Iter != want {
+			t.Errorf("iter = %d, want %d", msg.Iter, want)
+		}
 	}
 }
 
@@ -284,6 +319,67 @@ func TestStreamDemuxRecvBadRank(t *testing.T) {
 		t.Errorf("view identity: rank %d size %d", v.Rank(), v.Size())
 	}
 	_ = fmt.Sprintf("%v", v)
+}
+
+// TestTCPStreamRoutedDeliveryWhilePullerParked is the TCP-native analogue of
+// TestStreamDemuxRoutedDeliveryWhilePullerParked: the mesh's own read
+// election must deliver a routed stream's frame while another stream's
+// consumer stays parked in the socket read.
+func TestTCPStreamRoutedDeliveryWhilePullerParked(t *testing.T) {
+	meshes, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+
+	// Stream 0 on rank 0 parks first (its frame is sent last).
+	got0 := make(chan error, 1)
+	go func() {
+		msg, err := meshes[0].Recv(1)
+		if err == nil && msg.Iter != 7 {
+			err = fmt.Errorf("stream 0 got iter %d", msg.Iter)
+		}
+		got0 <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	got1 := make(chan error, 1)
+	go func() {
+		msg, err := meshes[0].StreamView(1).Recv(1)
+		if err == nil && msg.Iter != 3 {
+			err = fmt.Errorf("stream 1 got iter %d", msg.Iter)
+		}
+		got1 <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	if err := meshes[1].StreamView(1).Send(0, Message{Type: MsgReduce, Iter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got1:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream 1 never received its routed frame")
+	}
+
+	if err := meshes[1].Send(0, Message{Type: MsgReduce, Iter: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got0:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked reader never received its own frame")
+	}
 }
 
 // TestStreamDemuxRoutedDeliveryWhilePullerParked pins the liveness property

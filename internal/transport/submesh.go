@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // SubMesh presents a contiguous view over a subset of a parent mesh's
 // ranks: local rank i maps to parent rank members[i]. Collectives run
@@ -11,11 +14,17 @@ type SubMesh struct {
 	parent  Mesh
 	members []int
 	local   int
+
+	// demuxOnce/demux back StreamView when the parent lacks native stream
+	// routing.
+	demuxOnce sync.Once
+	demux     *StreamDemux
 }
 
 var (
-	_ Mesh        = (*SubMesh)(nil)
-	_ OwnedSender = (*SubMesh)(nil)
+	_ Mesh         = (*SubMesh)(nil)
+	_ OwnedSender  = (*SubMesh)(nil)
+	_ StreamRouter = (*SubMesh)(nil)
 )
 
 // NewSubMesh wraps parent so that only `members` (distinct parent ranks,
@@ -93,6 +102,28 @@ func (s *SubMesh) Recv(from int) (Message, error) {
 		return Message{}, err
 	}
 	return s.parent.Recv(g)
+}
+
+// StreamView implements StreamRouter. When the parent routes streams
+// natively (TCPMesh, or another SubMesh over one), the view is the parent's
+// native stream re-windowed to this subset — so a collective on a stream
+// view of a SubMesh still demultiplexes in the transport, one frame-header
+// compare per message. A wrapper demux over a native parent would deadlock
+// instead: the parent files stream frames under its own per-stream queues,
+// so the wrapper's parent.Recv (stream 0) would never observe them.
+// Non-native parents get a lazily created cooperative demux over this
+// SubMesh.
+func (s *SubMesh) StreamView(id int32) Mesh {
+	if sr, ok := s.parent.(StreamRouter); ok {
+		view, err := NewSubMesh(sr.StreamView(id), s.members)
+		if err == nil {
+			return view
+		}
+		// Unreachable in practice: members were validated against this same
+		// parent geometry at construction. Fall through to the demux.
+	}
+	s.demuxOnce.Do(func() { s.demux = NewStreamDemux(s) })
+	return s.demux.Stream(id)
 }
 
 // Close implements Mesh. Closing a SubMesh closes the parent endpoint,

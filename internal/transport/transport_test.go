@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"sync"
@@ -84,8 +85,8 @@ func TestReadMessageHugePayloadRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Forge a giant payload length.
-	buf[22], buf[23], buf[24], buf[25] = 0xFF, 0xFF, 0xFF, 0x7F
+	// Forge a giant payload length (v1 nelems field at offset 32).
+	buf[32], buf[33], buf[34], buf[35] = 0xFF, 0xFF, 0xFF, 0x7F
 	if _, err := ReadMessage(bytes.NewReader(buf)); !errors.Is(err, ErrPayloadTooLarge) {
 		t.Errorf("forged length error = %v, want ErrPayloadTooLarge", err)
 	}
@@ -298,6 +299,72 @@ func TestTCPSelfSend(t *testing.T) {
 	}
 	if m.Iter != 7 {
 		t.Errorf("self-send iter = %d", m.Iter)
+	}
+}
+
+// TestRingBulkSendBeforeRecv pins the transport against the mutual-bulk
+// deadlock: every rank sends one frame far larger than the kernel socket
+// buffers to its right neighbor BEFORE posting its receive, so no consumer
+// read ever drains the sockets and progress depends entirely on the
+// write-stall drain. The drain must both actually read the socket (a probe
+// under an expired deadline silently reads nothing) and checkpoint
+// mid-frame (blocking for a frame tail forms a circular wait around the
+// ring); regressions in either deadlock this test.
+func TestRingBulkSendBeforeRecv(t *testing.T) {
+	const (
+		n   = 4
+		dim = 2 << 20 // 16 MiB of f64 per frame, >> socket buffering
+	)
+	meshes, err := NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	done := make(chan error, n)
+	for _, m := range meshes {
+		m := m
+		go func() {
+			payload := make([]float64, dim)
+			for i := range payload {
+				payload[i] = float64(m.Rank()*dim + i)
+			}
+			if err := m.Send((m.Rank()+1)%n, Message{Type: MsgReduce, Iter: 1, Payload: payload}); err != nil {
+				done <- err
+				return
+			}
+			left := (m.Rank() + n - 1) % n
+			got, err := m.Recv(left)
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(got.Payload) != dim {
+				done <- fmt.Errorf("rank %d: got %d elems, want %d", m.Rank(), len(got.Payload), dim)
+				return
+			}
+			for _, i := range []int{0, 1, dim / 2, dim - 1} {
+				if want := float64(left*dim + i); got.Payload[i] != want {
+					done <- fmt.Errorf("rank %d: payload[%d] = %v, want %v", m.Rank(), i, got.Payload[i], want)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	timeout := time.After(60 * time.Second)
+	for range meshes {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: ranks still blocked after 60s (write-stall drain not making progress)")
+		}
 	}
 }
 
