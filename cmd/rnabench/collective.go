@@ -168,6 +168,16 @@ type collectiveBenchReport struct {
 	GateFramingSmallSpeedup float64           `json:"gate_framing_small_speedup"`
 	GateFramingAllocsPerOp  int64             `json:"gate_framing_allocs_per_op"`
 	GateFramingHeaderPct    float64           `json:"gate_framing_header_pct"`
+	// Skew is the heterogeneous-fabric sweep (see skewbench.go): the
+	// online skew engine vs the equal-chunk ring over per-peer paced TCP
+	// links at 4:1 skew, with the engine's measured link rates and
+	// converged plan recorded per row. GateSkewSpeedup is the speedup at
+	// the 256 KiB point (bar >= 1.4); GateSkewConvergeIters is how many
+	// iterations a fresh engine needs before its plan weights land within
+	// 5% of the oracle fabric's (bar <= 20).
+	Skew                  []skewRow `json:"skew"`
+	GateSkewSpeedup       float64   `json:"gate_skew_speedup_256k"`
+	GateSkewConvergeIters int       `json:"gate_skew_converge_iters"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -776,6 +786,9 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 	if err := runFramingSweep(&rep); err != nil {
 		return err
 	}
+	if err := runSkewSweep(&rep); err != nil {
+		return err
+	}
 	for _, cur := range rep.Current {
 		for _, seed := range rep.Seed {
 			if cur.Name == "RingAllReduce" && cur.Name == seed.Name && cur.Ranks == 8 && seed.Ranks == 8 && cur.Dim == seed.Dim {
@@ -811,5 +824,7 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 		rep.GateScalingEfficiency, rep.Scaling[len(rep.Scaling)-1].Ranks, rep.GateMultiLevelWin)
 	fmt.Fprintf(os.Stderr, "collective bench: framing small-tensor speedup %.2fx (gate >= 1.2), codec allocs/op %d (gate == 0), header %.3f%% at 256KiB (gate <= 1)\n",
 		rep.GateFramingSmallSpeedup, rep.GateFramingAllocsPerOp, rep.GateFramingHeaderPct)
+	fmt.Fprintf(os.Stderr, "collective bench: skew speedup %.2fx at 256KiB/4:1 (gate >= 1.4), plan within 5%% of oracle in %d iters (gate <= 20)\n",
+		rep.GateSkewSpeedup, rep.GateSkewConvergeIters)
 	return nil
 }

@@ -306,6 +306,12 @@ func runBenchSmoke() error {
 	if err := smokeScaling(); err != nil {
 		return fmt.Errorf("bench-smoke scaling: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, 64-rank multi-level bit-identical, params bit-identical)\n", buckets, inFlight)
+	if err := smokeSkew(); err != nil {
+		return fmt.Errorf("bench-smoke skew: %w", err)
+	}
+	if err := smokeRingRegression("BENCH_collective.json"); err != nil {
+		return fmt.Errorf("bench-smoke ring regression: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, 64-rank multi-level bit-identical, skew engine bit-identical to ring, params bit-identical)\n", buckets, inFlight)
 	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSkewProbe is a manual probe of the skew sweep (set
+// RNABENCH_SKEW_PROBE=1 to run); CI skips it.
+func TestSkewProbe(t *testing.T) {
+	if os.Getenv("RNABENCH_SKEW_PROBE") == "" {
+		t.Skip("probe only")
+	}
+	var rep collectiveBenchReport
+	if err := runSkewSweep(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Skew {
+		t.Logf("n%d dim %d ring %.1fms skew %.1fms speedup %.2fx rates %v weights %v",
+			row.Ranks, row.Dim, float64(row.EqualRingNs)/1e6, float64(row.SkewNs)/1e6,
+			row.Speedup, row.MeasuredLinkMBps, row.PlanWeights)
+	}
+	t.Logf("gates: speedup %.2fx at 256KiB (>= 1.4), converged in %d iters (<= 20)",
+		rep.GateSkewSpeedup, rep.GateSkewConvergeIters)
+	if rep.GateSkewSpeedup < 1.4 {
+		t.Errorf("skew speedup gate failed: %.2fx < 1.4x", rep.GateSkewSpeedup)
+	}
+	if rep.GateSkewConvergeIters > 20 || rep.GateSkewConvergeIters == 0 {
+		t.Errorf("convergence gate failed: %d iters", rep.GateSkewConvergeIters)
+	}
+}

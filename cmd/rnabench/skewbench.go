@@ -1,0 +1,429 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Skew sweep: the heterogeneity-aware weighted exchange vs the equal-chunk
+// ring on an asymmetric emulated fabric (per-peer paced TCP loopback, one
+// slow rank). The engine is given NO rate hints — it discovers the skew
+// from its own send timings and re-plans online; each row records the rates
+// it actually measured alongside the plan it converged to.
+
+// skewRow is one (dim) point of the skew sweep.
+type skewRow struct {
+	Ranks int `json:"ranks"`
+	Dim   int `json:"dim"`
+	// LinkSkew is the configured fast:slow link-rate ratio;
+	// FastLinkMBps the fast rate (the slow rank runs at fast/skew).
+	LinkSkew     float64 `json:"link_skew"`
+	FastLinkMBps float64 `json:"fast_link_mb_per_sec"`
+	// EqualRingNs / SkewNs are the fastest timed rounds of the plain ring
+	// and the converged skew engine on the same fabric; Speedup is their
+	// ratio.
+	EqualRingNs int64   `json:"equal_ring_ns"`
+	SkewNs      int64   `json:"skew_ns"`
+	Speedup     float64 `json:"speedup"`
+	// MeasuredLinkMBps are the per-rank mean outgoing rates the planning
+	// rank gathered for the last epoch (the inputs the plan was derived
+	// from), and PlanWeights the mean-normalized weight vector it
+	// converged to.
+	MeasuredLinkMBps []float64 `json:"measured_link_rates_mb_per_sec"`
+	PlanWeights      []float64 `json:"plan_weights"`
+}
+
+var (
+	skewRanks = 8
+	skewRatio = 4.0
+	// skewFastRateCap bounds the fast-link pacing; 400 MB/s leaves loopback
+	// CPU headroom so the pacing stays honest.
+	skewFastRateCap = 400e6
+	// skewDims spans 256 KiB – 16 MiB of fp64 payload.
+	skewDims = []int{1 << 15, 1 << 17, 1 << 19, 1 << 21}
+	// skewWarmups lets the EWMA converge before timing; skewReps timed
+	// rounds, keep the fastest.
+	skewWarmups = 6
+	skewReps    = 3
+	// skewConvergeCap bounds the convergence probe; the gate requires the
+	// plan to be within 5% of the oracle by iteration 20.
+	skewConvergeCap = 30
+)
+
+// skewFastRateFor picks the fast-link rate for a dim so serialization delay
+// stays dominant at every point of the sweep: ~200 B/s per element puts the
+// slow-link ring at roughly 280 ms per round regardless of dim, far above
+// the few milliseconds of per-round synchronization overhead that would
+// otherwise flatten the small-payload points into the latency-bound regime
+// (where the gate comparison measures scheduler noise, not link skew). Each
+// row records the rate it ran at (FastLinkMBps).
+func skewFastRateFor(dim int) float64 {
+	rate := 200 * float64(dim)
+	if rate > skewFastRateCap {
+		rate = skewFastRateCap
+	}
+	return rate
+}
+
+// newSkewCluster builds an n-rank TCP cluster where every rank's outgoing
+// links run at fast B/s except the last rank's, which run at fast/skew.
+func newSkewCluster(n int, fast, skew float64) ([]*transport.TCPMesh, error) {
+	meshes, err := transport.NewTCPCluster(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range meshes {
+		rate := fast
+		if m.Rank() == n-1 {
+			rate = fast / skew
+		}
+		for to := 0; to < n; to++ {
+			if to == m.Rank() {
+				continue
+			}
+			if err := m.SetPeerLinkRate(to, rate); err != nil {
+				for _, c := range meshes {
+					_ = c.Close()
+				}
+				return nil, err
+			}
+		}
+	}
+	return meshes, nil
+}
+
+// timeSkewRound runs one SPMD round over the cluster and returns wall ns.
+func timeSkewRound(meshes []*transport.TCPMesh, vecs []tensor.Vector, run func(m *transport.TCPMesh, v tensor.Vector) error) (int64, error) {
+	for i := range vecs {
+		for j := range vecs[i] {
+			vecs[i][j] = float64(i%5) + float64(j%11)*1e-3
+		}
+	}
+	done := make(chan error, len(meshes))
+	start := time.Now()
+	for _, m := range meshes {
+		m := m
+		go func() { done <- run(m, vecs[m.Rank()]) }()
+	}
+	var firstErr error
+	for range meshes {
+		if err := <-done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return time.Since(start).Nanoseconds(), firstErr
+}
+
+// oracleWeights is the mean-normalized weight vector of the configured
+// fabric: n−1 fast ranks at `skew`× the slow rank's rate.
+func oracleWeights(n int, skew float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = skew
+		if i == n-1 {
+			w[i] = 1
+		}
+		sum += w[i]
+	}
+	mean := sum / float64(n)
+	for i := range w {
+		w[i] /= mean
+	}
+	return w
+}
+
+// weightsWithinPct reports whether every mean-normalized weight is within
+// pct percent of the oracle's.
+func weightsWithinPct(got, oracle []float64, pct float64) bool {
+	if len(got) != len(oracle) {
+		return false
+	}
+	for i := range got {
+		if math.Abs(got[i]-oracle[i]) > pct/100*oracle[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runSkewConvergence counts the iterations the online re-planner needs on a
+// fresh engine (no rate hints, replan every call) until its plan weights
+// are within 5% of the oracle fabric's, up to skewConvergeCap.
+func runSkewConvergence(dim int) (int, error) {
+	n := skewRanks
+	meshes, err := newSkewCluster(n, skewFastRateFor(dim), skewRatio)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	engines := make([]*collective.SkewEngine, n)
+	for _, m := range meshes {
+		e, err := collective.NewSkewEngine(m, collective.SkewOptions{})
+		if err != nil {
+			return 0, err
+		}
+		defer e.Close()
+		engines[m.Rank()] = e
+	}
+	vecs := make([]tensor.Vector, n)
+	for i := range vecs {
+		vecs[i] = tensor.New(dim)
+	}
+	oracle := oracleWeights(n, skewRatio)
+	for it := 1; it <= skewConvergeCap; it++ {
+		if _, err := timeSkewRound(meshes, vecs, func(m *transport.TCPMesh, v tensor.Vector) error {
+			return engines[m.Rank()].AllReduce(int64(it), v, collective.OpAverage)
+		}); err != nil {
+			return 0, fmt.Errorf("skew convergence iter %d: %w", it, err)
+		}
+		if weightsWithinPct(engines[0].Partition().Weights, oracle, 5) {
+			return it, nil
+		}
+	}
+	return 0, fmt.Errorf("skew plan not within 5%% of oracle after %d iterations (weights %v, oracle %v)",
+		skewConvergeCap, engines[0].Partition().Weights, oracle)
+}
+
+// runSkewSweep measures equal ring vs skew engine at every dim and derives
+// the two skew gates.
+func runSkewSweep(rep *collectiveBenchReport) error {
+	n := skewRanks
+	for _, dim := range skewDims {
+		fast := skewFastRateFor(dim)
+		fmt.Fprintf(os.Stderr, "collective bench: skew n%d dim%d (TCP, %.0f:%.0f MB/s links)...\n",
+			n, dim, fast/1e6, fast/skewRatio/1e6)
+		meshes, err := newSkewCluster(n, fast, skewRatio)
+		if err != nil {
+			return err
+		}
+		vecs := make([]tensor.Vector, n)
+		for i := range vecs {
+			vecs[i] = tensor.New(dim)
+		}
+		row := skewRow{
+			Ranks: n, Dim: dim, LinkSkew: skewRatio,
+			FastLinkMBps: fast / 1e6,
+		}
+		// Equal-chunk ring baseline on the same fabric.
+		for r := 0; r <= skewReps; r++ { // rep 0 warms the connections
+			ns, err := timeSkewRound(meshes, vecs, func(m *transport.TCPMesh, v tensor.Vector) error {
+				return collective.RingAllReduce(m, int64(r), v, collective.OpAverage)
+			})
+			if err != nil {
+				closeAll(meshes)
+				return fmt.Errorf("skew bench ring n%d dim%d: %w", n, dim, err)
+			}
+			if r > 0 && (row.EqualRingNs == 0 || ns < row.EqualRingNs) {
+				row.EqualRingNs = ns
+			}
+		}
+		// Skew engine: warm up until the online plan settles, then time.
+		engines := make([]*collective.SkewEngine, n)
+		enginesErr := func() error {
+			for _, m := range meshes {
+				e, err := collective.NewSkewEngine(m, collective.SkewOptions{})
+				if err != nil {
+					return err
+				}
+				engines[m.Rank()] = e
+			}
+			return nil
+		}()
+		if enginesErr != nil {
+			closeAll(meshes)
+			return enginesErr
+		}
+		iter := int64(100)
+		for r := 0; r < skewWarmups+skewReps; r++ {
+			ns, err := timeSkewRound(meshes, vecs, func(m *transport.TCPMesh, v tensor.Vector) error {
+				return engines[m.Rank()].AllReduce(iter, v, collective.OpAverage)
+			})
+			iter++
+			if err != nil {
+				closeAll(meshes)
+				return fmt.Errorf("skew bench engine n%d dim%d: %w", n, dim, err)
+			}
+			if r >= skewWarmups && (row.SkewNs == 0 || ns < row.SkewNs) {
+				row.SkewNs = ns
+			}
+		}
+		// Record what the engine measured and planned: rank 0's gathered
+		// rate snapshot is the full per-rank vector the plan was derived
+		// from (the numbers behind each row).
+		rates := engines[0].LastRates()
+		row.MeasuredLinkMBps = make([]float64, len(rates))
+		for i, r := range rates {
+			row.MeasuredLinkMBps[i] = r / 1e6
+		}
+		row.PlanWeights = append([]float64(nil), engines[0].Partition().Weights...)
+		for _, e := range engines {
+			e.Close()
+		}
+		closeAll(meshes)
+		row.Speedup = float64(row.EqualRingNs) / float64(row.SkewNs)
+		rep.Skew = append(rep.Skew, row)
+		fmt.Fprintf(os.Stderr, "collective bench: skew n%d dim%d ring %.1fms skew %.1fms (%.2fx)\n",
+			n, dim, float64(row.EqualRingNs)/1e6, float64(row.SkewNs)/1e6, row.Speedup)
+		if dim == 1<<15 {
+			rep.GateSkewSpeedup = row.Speedup
+		}
+	}
+	iters, err := runSkewConvergence(1 << 15)
+	if err != nil {
+		return err
+	}
+	rep.GateSkewConvergeIters = iters
+	return nil
+}
+
+func closeAll(meshes []*transport.TCPMesh) {
+	for _, m := range meshes {
+		_ = m.Close()
+	}
+}
+
+// smokeSkew is the bench-smoke slice: a 4-rank TCP cluster at 3:1 link
+// skew, the engine converged onto an unequal plan, and the result asserted
+// BIT-IDENTICAL to the in-memory equal-chunk ring on the same inputs — the
+// partition must never change the numbers.
+func smokeSkew() error {
+	const n, dim = 4, 1 << 14
+	const fast, ratio = 100e6, 3.0
+	meshes, err := newSkewCluster(n, fast, ratio)
+	if err != nil {
+		return err
+	}
+	defer closeAll(meshes)
+	engines := make([]*collective.SkewEngine, n)
+	for _, m := range meshes {
+		e, err := collective.NewSkewEngine(m, collective.SkewOptions{})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		engines[m.Rank()] = e
+	}
+	vecs := make([]tensor.Vector, n)
+	for i := range vecs {
+		vecs[i] = tensor.New(dim)
+	}
+	// Let the online planner observe the fabric and go non-uniform.
+	for it := 0; it < 5; it++ {
+		if _, err := timeSkewRound(meshes, vecs, func(m *transport.TCPMesh, v tensor.Vector) error {
+			return engines[m.Rank()].AllReduce(int64(it), v, collective.OpAverage)
+		}); err != nil {
+			return fmt.Errorf("skew smoke warmup: %w", err)
+		}
+	}
+	part := engines[0].Partition()
+	if part.Uniform() {
+		return fmt.Errorf("skew smoke: engine still uniform after warmup (weights %v)", part.Weights)
+	}
+	// One more timed round on fixed inputs, then the reference ring on an
+	// in-memory mesh over the same inputs.
+	skewVecs := make([]tensor.Vector, n)
+	ringVecs := make([]tensor.Vector, n)
+	for i := range skewVecs {
+		skewVecs[i] = tensor.New(dim)
+		ringVecs[i] = tensor.New(dim)
+		for j := range skewVecs[i] {
+			skewVecs[i][j] = float64(i%5) + float64(j%11)*1e-3
+			ringVecs[i][j] = skewVecs[i][j]
+		}
+	}
+	done := make(chan error, n)
+	for _, m := range meshes {
+		m := m
+		go func() { done <- engines[m.Rank()].AllReduce(99, skewVecs[m.Rank()], collective.OpAverage) }()
+	}
+	for range meshes {
+		if err := <-done; err != nil {
+			return fmt.Errorf("skew smoke round: %w", err)
+		}
+	}
+	net, err := transport.NewLocalNetwork(n)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = net.Close() }()
+	for _, m := range net.Endpoints() {
+		m := m
+		go func() { done <- collective.RingAllReduce(m, 99, ringVecs[m.Rank()], collective.OpAverage) }()
+	}
+	for range net.Endpoints() {
+		if err := <-done; err != nil {
+			return fmt.Errorf("skew smoke ring reference: %w", err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for j := 0; j < dim; j++ {
+			if math.Float64bits(skewVecs[r][j]) != math.Float64bits(ringVecs[r][j]) {
+				return fmt.Errorf("skew smoke: rank %d not bit-identical to ring at [%d]: %x vs %x",
+					r, j, math.Float64bits(skewVecs[r][j]), math.Float64bits(ringVecs[r][j]))
+			}
+		}
+	}
+	return nil
+}
+
+// smokeRingRegression is the benchmark-regression guard: re-measure the
+// uniform-fabric in-memory ring at the recorded n8/dim262144 acceptance
+// point and fail if it lands more than 10% above the ns/op recorded in
+// BENCH_collective.json. Min-of-reps damps scheduler noise; a missing or
+// unreadable JSON (fresh checkout mid-rework) skips the guard rather than
+// failing CI on infrastructure.
+func smokeRingRegression(benchPath string) error {
+	recorded, err := recordedRingNs(benchPath, 8, 1<<18)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-smoke: ring regression guard skipped (%v)\n", err)
+		return nil
+	}
+	var best int64
+	for r := 0; r < 5; r++ {
+		res, err := benchRing("RingAllReduce", 8, 1<<18, func(m transport.Mesh, iter int64, v tensor.Vector) error {
+			return collective.RingAllReduce(m, iter, v, collective.OpAverage)
+		})
+		if err != nil {
+			return err
+		}
+		if best == 0 || res.NsPerOp < best {
+			best = res.NsPerOp
+		}
+	}
+	if float64(best) > 1.10*float64(recorded) {
+		return fmt.Errorf("uniform-fabric ring regressed: %d ns/op vs recorded %d ns/op (>10%%)", best, recorded)
+	}
+	fmt.Fprintf(os.Stderr, "bench-smoke: ring regression guard ok (%d ns/op vs recorded %d)\n", best, recorded)
+	return nil
+}
+
+// recordedRingNs pulls the current RingAllReduce ns/op at (ranks, dim) from
+// the recorded benchmark JSON.
+func recordedRingNs(path string, ranks, dim int) (int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep collectiveBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0, err
+	}
+	for _, c := range rep.Current {
+		if c.Name == "RingAllReduce" && c.Ranks == ranks && c.Dim == dim {
+			return c.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("no recorded RingAllReduce n%d dim%d row in %s", ranks, dim, path)
+}

@@ -453,6 +453,87 @@ func SelectAlgorithmWire(n, elems int, wire tensor.Dtype) Algorithm {
 	return ActiveCostModel().SelectWire(n, elems, wire)
 }
 
+// Skew term. On a heterogeneous fabric the equal schedules are bound by the
+// slowest rank RELAYING (nearly) the whole tensor, while the weighted
+// direct exchange (skewAllReduce) lets a slow rank serve only its
+// proportional share. Both predictions below take the agreed mean-
+// normalized weight vector as the rate proxy, so the decision is a pure
+// function of SPMD-shared inputs — every rank of a skew engine branches the
+// same way.
+
+// skewMinWeight returns the smallest (slowest) normalized weight.
+func skewMinWeight(weights []float64) float64 {
+	min := weights[0]
+	for _, w := range weights[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// PredictSkewWireNs prices the weighted direct exchange for elems f64
+// elements over per-rank relative rates `weights` (mean-normalized; chunk
+// shares are taken proportional to them, matching the partitioner). Rank
+// r's critical path is its own serialized traffic — scatter out (B − b_r)
+// fp64 bytes plus allgather out (n−1)·b_r wire bytes over a link running at
+// w_r times the calibrated fabric speed — and the collective finishes when
+// the slowest rank does.
+func (c CostModel) PredictSkewWireNs(elems int, wire tensor.Dtype, weights []float64) float64 {
+	n := len(weights)
+	if n <= 1 {
+		return 0
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if !(sum > 0) {
+		return math.Inf(1)
+	}
+	msgs := float64(2 * (n - 1))
+	k := c.Ring
+	var worst float64
+	for _, w := range weights {
+		share := w / sum
+		chunk := int(float64(elems) * share)
+		scatterB := float64(8 * (elems - chunk))
+		gatherB := float64(n-1) * float64(wire.WireBytes(chunk))
+		t := (msgs*k.AlphaNs + (scatterB+gatherB)*k.BetaNsPerByte) / w
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// PredictRingSkewWireNs prices the EQUAL-chunk ring on the same skewed
+// fabric: every rank relays the same byte volume, so the slowest rank's
+// link (the smallest weight) sets the pace for the whole schedule. For
+// uniform weights this reduces exactly to PredictWireNs(AlgoRing, …).
+func (c CostModel) PredictRingSkewWireNs(n, elems int, wire tensor.Dtype, weights []float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return c.PredictWireNs(AlgoRing, n, elems, wire) / skewMinWeight(weights)
+}
+
+// SkewWins reports whether the weighted direct exchange is predicted to
+// beat the equal-chunk ring for this (size, wire, fabric) point. The 1.1×
+// margin keeps the equal ring — with its pooled rotating buffers, segment
+// pipeline and inline fast path — in charge unless unequal chunking is
+// predicted to pay for the schedule switch; in particular tiny tensors stay
+// on the latency-optimal inline path no matter how skewed the fabric is.
+func (c CostModel) SkewWins(elems int, wire tensor.Dtype, weights []float64) bool {
+	n := len(weights)
+	if n <= 1 || elems < n {
+		return false
+	}
+	skewed := c.PredictSkewWireNs(elems, wire, weights)
+	equal := c.PredictRingSkewWireNs(n, elems, wire, weights)
+	return skewed*1.1 < equal
+}
+
 // Calibration is the persisted form of a fitted cost model.
 type Calibration struct {
 	// Model holds the fitted constants.

@@ -1,0 +1,505 @@
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Skew-aware collective scheduling.
+//
+// Every flat schedule in this package splits the tensor into equal chunks,
+// so one slow link binds the whole AllReduce: the ring relays (almost) the
+// full tensor over every link, and the slowest link's service time is the
+// collective's makespan. The skew-aware schedule instead sizes each rank's
+// chunk to the speed of the links that must carry it, then exchanges chunks
+// DIRECTLY: reduce-scatter sends each peer its (unequal) chunk in one hop,
+// the owner folds all contributions in the ring's exact accumulation order,
+// and allgather ships the completed chunk back out in one hop. Under that
+// shape rank r's wire traffic is (B − b_r) + (n−1)·b_r, so a slow rank with
+// a small chunk b_r serves proportionally fewer bytes — unlike the ring,
+// where chunk sizes cannot unload a link because every chunk crosses it.
+//
+// Determinism contract. All ranks must compute the same partition from the
+// same snapshot, or chunk boundaries disagree and the collective corrupts
+// data. The plan is therefore agreed through a cheap epoch-stamped exchange
+// (see SkewEngine.replan): each rank contributes one scalar — its own mean
+// outgoing link rate, the only row of the EWMA store it can observe — to
+// rank 0, which plans once (topology.NewPartition, a pure function) and
+// broadcasts the weight vector stamped with the epoch. Every subsequent
+// collective derives chunk offsets from those weights via
+// tensor.WeightedSizes, itself a pure function, so all ranks schedule
+// bit-identically until the next epoch.
+//
+// Bit-identity contract. Chunk c is folded starting from rank c's own
+// contribution in ring order c, c+1, …, c−1 — exactly the pipelined ring's
+// association (its final seg+=payload step has the operands swapped, and
+// pairwise FP addition is commutative bitwise) — and OpAverage scales the
+// completed sum by 1/n at the owner, as the ring does. The skewed schedule
+// therefore produces the SAME BITS as the equal-chunk ring for fp64 wires,
+// regardless of the partition; and when the plan degenerates to uniform the
+// engine doesn't merely match the ring, it calls it (ringAllReduce), pooled
+// buffers, inline fast path and all.
+//
+// Online re-planning. The transport's send observer (TCPMesh.
+// SetSendObserver) stamps every flushed batch with its wall time; the
+// engine feeds those per-segment timings into its topology.LinkObservations
+// EWMA store, so the next replan sees the rates the previous collectives
+// actually achieved — the partition self-tunes over iterations without a
+// calibration run. The loop is a stable fixed point: shrinking a slow
+// rank's chunk changes the bytes it sends, not the rate the observer
+// measures, so the estimate converges to the intrinsic link speed.
+
+// skewGatherTagBase offsets allgather tags past the scatter tag space
+// (scatter: chunk index 0..n−1; gather: n+owner).
+func skewScatterTag(chunk int) int32   { return int32(chunk) }
+func skewGatherTag(n, owner int) int32 { return int32(n + owner) }
+
+// Plan-exchange tags (MsgControl frames, Iter = epoch).
+const (
+	skewRateTag int32 = iota
+	skewPlanTag
+)
+
+// SkewOptions configures a SkewEngine. The zero value selects defaults.
+type SkewOptions struct {
+	// FloorElems is the minimum chunk size in elements (0 selects
+	// topology.DefaultPartitionFloor; negative disables the floor).
+	FloorElems int
+	// MaxSkew clamps the largest-to-smallest chunk ratio (<1 selects
+	// tensor.DefaultMaxSkew).
+	MaxSkew float64
+	// ReplanEvery re-plans the partition every k collectives (0 selects 1:
+	// re-plan before every collective — the exchange is one scalar gather
+	// plus one small broadcast, cheap next to any real AllReduce).
+	ReplanEvery int
+	// HalfLife overrides the observation EWMA half-life in samples (0
+	// selects a fast half-life of 4, not the store's default 16: the
+	// re-planning loop wants to track rate shifts within a handful of
+	// iterations).
+	HalfLife float64
+}
+
+// skewObsHalfLife is the default EWMA half-life of the engine's link store.
+const skewObsHalfLife = 4.0
+
+// SkewEngine runs skew-aware AllReduces over one mesh endpoint. Create one
+// per rank (NewSkewEngine) and call AllReduce in SPMD lockstep, like any
+// collective in this package. Not safe for concurrent use by multiple
+// goroutines on the same endpoint.
+type SkewEngine struct {
+	m    transport.Mesh
+	opts SkewOptions
+
+	// obs is this rank's EWMA link store. Only row `rank` ever fills — a
+	// rank can only time its own sends — but the full store keeps the
+	// planner input shaped for the fabric.
+	obs *topology.LinkObservations
+
+	calls int   // collectives run (drives the replan cadence)
+	epoch int64 // plan epochs agreed so far
+	part  *topology.Partition
+
+	// Pooled scratch, reused across iterations: the rate snapshot, the
+	// agreed offsets (cached per vector length within an epoch), and the
+	// scatter contribution table.
+	rates    []float64
+	offs     []int
+	offsLen  int
+	offsFor  int64 // epoch the cached offsets were derived from
+	srcs     [][]float64
+	rateWire []float64 // 1-elem payload scratch for the plan exchange
+}
+
+// NewSkewEngine builds a skew-aware engine over m. When the mesh exposes a
+// send observer (TCPMesh does), the engine installs its timing hook so the
+// partition self-tunes online; on meshes without one (the in-memory mesh)
+// the plan stays uniform and every collective takes the plain ring path.
+func NewSkewEngine(m transport.Mesh, opts SkewOptions) (*SkewEngine, error) {
+	n := m.Size()
+	obs, err := topology.NewLinkObservations(n)
+	if err != nil {
+		return nil, err
+	}
+	if opts.FloorElems == 0 {
+		opts.FloorElems = topology.DefaultPartitionFloor
+	} else if opts.FloorElems < 0 {
+		opts.FloorElems = 0
+	}
+	if opts.ReplanEvery <= 0 {
+		opts.ReplanEvery = 1
+	}
+	hl := opts.HalfLife
+	if hl <= 0 {
+		hl = skewObsHalfLife
+	}
+	obs.SetHalfLife(hl)
+	e := &SkewEngine{m: m, opts: opts, obs: obs, rateWire: make([]float64, 1)}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	e.part = &topology.Partition{Weights: uniform, FloorElems: opts.FloorElems, MaxSkew: opts.MaxSkew}
+	rank := m.Rank()
+	if om, ok := m.(interface{ SetSendObserver(transport.SendObserver) }); ok {
+		om.SetSendObserver(func(to int, wireBytes int, d time.Duration) {
+			// Errors (out-of-range, self) cannot happen for transport-fed
+			// ranks; tiny batches fold into the latency EWMA inside the
+			// store.
+			_ = e.obs.ObserveTransfer(rank, to, int64(wireBytes), d)
+		})
+	}
+	return e, nil
+}
+
+// Observations exposes the engine's link store (e.g. for seeding or
+// inspection in tests and benchmarks).
+func (e *SkewEngine) Observations() *topology.LinkObservations { return e.obs }
+
+// Partition returns the currently agreed plan (never nil after NewSkewEngine).
+func (e *SkewEngine) Partition() *topology.Partition { return e.part }
+
+// LastRates returns a copy of the per-rank outgoing-rate snapshot (bytes/sec)
+// behind the current plan, or nil before the first replan. Only rank 0 — the
+// planning rank — holds the full gathered vector; every other rank's copy
+// carries just its own row's mean (the one scalar it contributed).
+func (e *SkewEngine) LastRates() []float64 {
+	if e.rates == nil {
+		return nil
+	}
+	return append([]float64(nil), e.rates...)
+}
+
+// Epoch returns the number of plan epochs agreed so far.
+func (e *SkewEngine) Epoch() int64 { return e.epoch }
+
+// Close detaches the engine's transport timing hook (the engine itself
+// holds no other resources).
+func (e *SkewEngine) Close() {
+	if om, ok := e.m.(interface{ SetSendObserver(transport.SendObserver) }); ok {
+		om.SetSendObserver(nil)
+	}
+}
+
+// AllReduce runs one skew-aware AllReduce: re-plan if the cadence says so,
+// then execute the agreed partition — via the plain pipelined ring when the
+// plan is uniform or the cost model prefers the equal schedule, via the
+// weighted direct exchange otherwise. Results are bit-identical to
+// RingAllReduce in both cases.
+func (e *SkewEngine) AllReduce(iter int64, v tensor.Vector, op ReduceOp) error {
+	return e.AllReduceOpts(iter, v, op, Options{})
+}
+
+// AllReduceOpts is AllReduce with wire compression and error-feedback
+// options (Options.Algorithm must be AlgoAuto or AlgoRing; the skew engine
+// owns the schedule choice).
+func (e *SkewEngine) AllReduceOpts(iter int64, v tensor.Vector, op ReduceOp, opts Options) error {
+	if opts.Algorithm != AlgoAuto && opts.Algorithm != AlgoRing {
+		return fmt.Errorf("collective: skew engine cannot run %v", opts.Algorithm)
+	}
+	if opts.TopK != 0 {
+		return fmt.Errorf("collective: skew engine cannot run top-k")
+	}
+	if !opts.Compression.Valid() {
+		return fmt.Errorf("collective: unknown compression dtype %d", opts.Compression)
+	}
+	if opts.Residual != nil && len(opts.Residual) != len(v) {
+		return fmt.Errorf("collective: residual length %d != vector length %d", len(opts.Residual), len(v))
+	}
+	n := e.m.Size()
+	if n == 1 {
+		e.calls++
+		return nil
+	}
+	if e.calls%e.opts.ReplanEvery == 0 {
+		if err := e.replan(); err != nil {
+			return err
+		}
+	}
+	e.calls++
+	wire := opts.Compression
+	// Uniform plans take the unweighted engine verbatim — pooled buffers,
+	// pipelined segments, inline fast path; bit-identity is trivial because
+	// it IS the same code. Skewed plans ask the cost model whether unequal
+	// chunking actually beats the equal schedules at this size (tiny
+	// tensors are latency-bound: the inline path wins no matter how skewed
+	// the fabric is). All inputs are SPMD-agreed, so every rank branches
+	// the same way.
+	if e.part.Uniform() || !ActiveCostModel().SkewWins(len(v), wire, e.part.Weights) {
+		return ringAllReduce(e.m, iter, v, op, 0, wire, opts.Residual)
+	}
+	offs, err := e.offsets(len(v))
+	if err != nil {
+		return err
+	}
+	if tensor.UniformOffsets(offs) {
+		// The floor/clamp collapsed the skew at this vector length.
+		return ringAllReduce(e.m, iter, v, op, 0, wire, opts.Residual)
+	}
+	return skewAllReduce(e.m, iter, v, op, offs, wire, opts.Residual, e.srcsFor(n))
+}
+
+// offsets derives (and caches, per epoch and vector length) the agreed
+// chunk offsets for a total-element vector.
+func (e *SkewEngine) offsets(total int) ([]int, error) {
+	if e.offs != nil && e.offsLen == total && e.offsFor == e.epoch {
+		return e.offs, nil
+	}
+	sizes, err := e.part.Sizes(total)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sizes)
+	if cap(e.offs) < n+1 {
+		e.offs = make([]int, n+1)
+	}
+	e.offs = e.offs[:n+1]
+	e.offs[0] = 0
+	for i, s := range sizes {
+		e.offs[i+1] = e.offs[i] + s
+	}
+	e.offsLen, e.offsFor = total, e.epoch
+	return e.offs, nil
+}
+
+func (e *SkewEngine) srcsFor(n int) [][]float64 {
+	if cap(e.srcs) < n {
+		e.srcs = make([][]float64, n)
+	}
+	return e.srcs[:n]
+}
+
+// replan runs one epoch of the plan exchange. Every rank sends its own
+// observed mean outgoing rate to rank 0 (the one scalar only it can know);
+// rank 0 assembles the full rate vector, plans deterministically, and sends
+// each rank the weight vector. All frames are MsgControl stamped with the
+// new epoch in Iter, so a rank that somehow drifted a replan cadence apart
+// from its peers fails loudly on the epoch check instead of silently
+// scheduling from a different snapshot.
+func (e *SkewEngine) replan() error {
+	n := e.m.Size()
+	rank := e.m.Rank()
+	epoch := e.epoch + 1
+	e.rates = e.obs.OutRatesInto(e.rates)
+	own := e.rates[rank]
+	var weights []float64
+	if rank == 0 {
+		for from := 1; from < n; from++ {
+			msg, err := e.m.Recv(from)
+			if err != nil {
+				return fmt.Errorf("skew plan gather: %w", err)
+			}
+			if cerr := checkMsg("skew-plan", msg, transport.MsgControl, epoch, skewRateTag); cerr != nil {
+				transport.PutPayload(msg.Payload)
+				return cerr
+			}
+			if len(msg.Payload) != 1 {
+				transport.PutPayload(msg.Payload)
+				return fmt.Errorf("%w: skew rate payload %d elems", ErrProtocol, len(msg.Payload))
+			}
+			e.rates[from] = msg.Payload[0]
+			transport.PutPayload(msg.Payload)
+		}
+		e.rates[0] = own
+		part, err := topology.NewPartition(e.rates, e.opts.FloorElems, e.opts.MaxSkew)
+		if err != nil {
+			return err
+		}
+		weights = part.Weights
+		for to := 1; to < n; to++ {
+			if err := e.m.Send(to, transport.Message{
+				Type:    transport.MsgControl,
+				Iter:    epoch,
+				Chunk:   skewPlanTag,
+				Payload: weights,
+			}); err != nil {
+				return fmt.Errorf("skew plan broadcast: %w", err)
+			}
+		}
+	} else {
+		e.rateWire[0] = own
+		if err := e.m.Send(0, transport.Message{
+			Type:    transport.MsgControl,
+			Iter:    epoch,
+			Chunk:   skewRateTag,
+			Payload: e.rateWire,
+		}); err != nil {
+			return fmt.Errorf("skew plan report: %w", err)
+		}
+		msg, err := e.m.Recv(0)
+		if err != nil {
+			return fmt.Errorf("skew plan recv: %w", err)
+		}
+		if cerr := checkMsg("skew-plan", msg, transport.MsgControl, epoch, skewPlanTag); cerr != nil {
+			transport.PutPayload(msg.Payload)
+			return cerr
+		}
+		if len(msg.Payload) != n {
+			transport.PutPayload(msg.Payload)
+			return fmt.Errorf("%w: skew plan payload %d elems, want %d", ErrProtocol, len(msg.Payload), n)
+		}
+		weights = append(make([]float64, 0, n), msg.Payload...)
+		transport.PutPayload(msg.Payload)
+	}
+	e.part = &topology.Partition{
+		Weights:    weights,
+		FloorElems: e.opts.FloorElems,
+		MaxSkew:    e.opts.MaxSkew,
+		Epoch:      epoch,
+	}
+	e.epoch = epoch
+	return nil
+}
+
+// skewAllReduce executes the weighted direct exchange: one-hop
+// reduce-scatter into the chunk owners (ring-order fold), owner-side
+// average/quantize, one-hop allgather back out. offs is the agreed n+1
+// offset table; srcs is pooled scratch of at least n slots.
+func skewAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, offs []int, wire tensor.Dtype, residual tensor.Vector, srcs [][]float64) error {
+	n := m.Size()
+	rank := m.Rank()
+	if err := checkSegTagSpace(n, 2); err != nil {
+		return err
+	}
+	if len(offs) != n+1 || offs[n] != len(v) {
+		return fmt.Errorf("collective: skew offsets cover %d of %d elements over %d ranks", offs[len(offs)-1], len(v), n)
+	}
+
+	// Phase 1 sends: each peer's chunk goes straight to its owner. All
+	// sends complete before any receive — the same pattern as the inline
+	// pairwise allgather; the TCP mesh's drain-assist protocol makes an
+	// overrunning send round drain inbound frames instead of deadlocking.
+	for d := 1; d < n; d++ {
+		to := (rank + d) % n
+		if offs[to+1] == offs[to] {
+			continue
+		}
+		if err := m.Send(to, transport.Message{
+			Type:    transport.MsgChunk,
+			Iter:    iter,
+			Chunk:   skewScatterTag(to),
+			Payload: v[offs[to]:offs[to+1]],
+		}); err != nil {
+			return fmt.Errorf("skew scatter send: %w", err)
+		}
+	}
+
+	// Phase 1 receives + fold: collect all contributions for the own
+	// chunk, then fold each element in the ring's exact order — see the
+	// bit-identity contract above.
+	own := v[offs[rank]:offs[rank+1]]
+	release := func(upto int) {
+		for d := 1; d < upto; d++ {
+			from := mod(rank-d, n)
+			if srcs[from] != nil {
+				transport.PutPayload(srcs[from])
+				srcs[from] = nil
+			}
+		}
+	}
+	if len(own) > 0 {
+		for d := 1; d < n; d++ {
+			from := mod(rank-d, n)
+			srcs[from] = nil
+			msg, err := m.Recv(from)
+			if err != nil {
+				release(d)
+				return fmt.Errorf("skew scatter recv: %w", err)
+			}
+			if cerr := checkMsg("skew", msg, transport.MsgChunk, iter, skewScatterTag(rank)); cerr != nil {
+				transport.PutPayload(msg.Payload)
+				release(d)
+				return cerr
+			}
+			if len(msg.Payload) != len(own) {
+				transport.PutPayload(msg.Payload)
+				release(d)
+				return fmt.Errorf("%w: skew chunk %d elems, want %d", ErrProtocol, len(msg.Payload), len(own))
+			}
+			srcs[from] = msg.Payload
+		}
+		// The pipelined ring folds element g as v_c + v_{c+1} + … + v_{c-1}
+		// (left-associative) where c is g's UNIFORM chunk index — the chunk
+		// rotates around the ring starting from rank c. A skewed partition
+		// may hand g to a different owner, so the fold start is looked up
+		// per uniform-chunk segment, not taken from the owning rank:
+		// that keeps every element bit-identical to RingAllReduce under
+		// ANY partition, which in turn makes re-planning invisible to the
+		// training trajectory.
+		srcs[rank] = own
+		total := len(v)
+		c, ce := -1, 0
+		for i := range own {
+			for g := offs[rank] + i; g >= ce; {
+				c++
+				_, ce, _ = tensor.ChunkBounds(total, n, c)
+			}
+			acc := srcs[c%n][i]
+			for d := 1; d < n; d++ {
+				acc += srcs[(c+d)%n][i]
+			}
+			own[i] = acc
+		}
+		srcs[rank] = nil
+		release(n)
+		if op == OpAverage {
+			// Owner-side scale, identical to the ring's fused average.
+			own.Scale(1 / float64(n))
+		}
+		if wire != tensor.F64 {
+			// Owner-side quantization: the values this rank keeps are
+			// exactly the values every peer decodes (re-encode is exact by
+			// idempotence), and the error-feedback residual is captured at
+			// the only point where exact fp64 values exist.
+			if residual != nil {
+				tensor.RoundTripEF(wire, own, residual[offs[rank]:offs[rank+1]])
+			} else {
+				tensor.RoundTrip(wire, own)
+			}
+		}
+	}
+
+	// Phase 2: allgather the completed chunks, one direct hop each.
+	if len(own) > 0 {
+		for d := 1; d < n; d++ {
+			to := (rank + d) % n
+			if err := m.Send(to, transport.Message{
+				Type:    transport.MsgChunk,
+				Iter:    iter,
+				Chunk:   skewGatherTag(n, rank),
+				Dtype:   wire,
+				Payload: own,
+			}); err != nil {
+				return fmt.Errorf("skew gather send: %w", err)
+			}
+		}
+	}
+	for d := 1; d < n; d++ {
+		from := mod(rank-d, n)
+		if offs[from+1] == offs[from] {
+			continue
+		}
+		msg, err := m.Recv(from)
+		if err != nil {
+			return fmt.Errorf("skew gather recv: %w", err)
+		}
+		if cerr := checkMsg("skew", msg, transport.MsgChunk, iter, skewGatherTag(n, from)); cerr != nil {
+			transport.PutPayload(msg.Payload)
+			return cerr
+		}
+		dst := v[offs[from]:offs[from+1]]
+		if len(msg.Payload) != len(dst) {
+			transport.PutPayload(msg.Payload)
+			return fmt.Errorf("%w: skew gather %d elems, want %d", ErrProtocol, len(msg.Payload), len(dst))
+		}
+		err = dst.CopyFrom(msg.Payload)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("skew gather copy: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// skewOffsets builds the n+1 offset table for a weight vector, failing the
+// test on planner errors.
+func skewOffsets(t *testing.T, total int, weights []float64, floor int, maxSkew float64) []int {
+	t.Helper()
+	sizes, err := tensor.WeightedSizes(total, weights, floor, maxSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tensor.WeightedOffsets(sizes)
+}
+
+// TestSkewAllReduceMatchesRing: the weighted direct exchange produces
+// BIT-IDENTICAL results to the pipelined ring for any partition — the fold
+// order is the ring's — across rank counts, dims, ops, and skews, including
+// partitions with empty chunks.
+func TestSkewAllReduceMatchesRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		for _, dim := range []int{1, 2, n, 4 * n, 97, 4099} {
+			for _, op := range []ReduceOp{OpSum, OpAverage} {
+				weights := make([]float64, n)
+				for i := range weights {
+					weights[i] = 0.25 + rng.Float64()*4
+				}
+				inputs := randomInputs(rng, n, dim)
+
+				ringGot := make([]tensor.Vector, n)
+				for r := range ringGot {
+					ringGot[r] = inputs[r].Clone()
+				}
+				runSPMD(t, n, func(m transport.Mesh) error {
+					return ringAllReduce(m, 5, ringGot[m.Rank()], op, 0, tensor.F64, nil)
+				})
+
+				offs := skewOffsets(t, dim, weights, 0, 16)
+				skewGot := make([]tensor.Vector, n)
+				for r := range skewGot {
+					skewGot[r] = inputs[r].Clone()
+				}
+				runSPMD(t, n, func(m transport.Mesh) error {
+					srcs := make([][]float64, n)
+					return skewAllReduce(m, 5, skewGot[m.Rank()], op, offs, tensor.F64, nil, srcs)
+				})
+
+				for r := 0; r < n; r++ {
+					for j := 0; j < dim; j++ {
+						if math.Float64bits(skewGot[r][j]) != math.Float64bits(ringGot[r][j]) {
+							t.Fatalf("n=%d dim=%d op=%d rank=%d elem=%d: skew %x ring %x (offs %v)",
+								n, dim, op, r, j,
+								math.Float64bits(skewGot[r][j]), math.Float64bits(ringGot[r][j]), offs)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSkewAllReduceCompression: the skew path with a lossy wire leaves all
+// ranks bit-identical to each other (owner-side quantization, exact
+// re-encode). Per-element dtypes quantize the finished F64 reduction — the
+// result must be EXACTLY RoundTrip(ring F64 result). Block-scaled I8 gets
+// the standard half-block-scale error bound. Error feedback captures the
+// quantization residue exactly at the owners.
+func TestSkewAllReduceCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, dim = 4, 2100
+	inputs := randomInputs(rng, n, dim)
+	// The uncompressed ring result is the skew fold's pre-quantization
+	// value, bitwise (the bit-identity contract).
+	ringF64 := make([]tensor.Vector, n)
+	for r := range ringF64 {
+		ringF64[r] = inputs[r].Clone()
+	}
+	runSPMD(t, n, func(m transport.Mesh) error {
+		return ringAllReduce(m, 3, ringF64[m.Rank()], OpAverage, 0, tensor.F64, nil)
+	})
+	exact := ringF64[0]
+	offs := skewOffsets(t, dim, []float64{4, 2, 1, 1}, 0, 8)
+	for _, wire := range []tensor.Dtype{tensor.F32, tensor.F16, tensor.I8} {
+		got := make([]tensor.Vector, n)
+		res := make([]tensor.Vector, n)
+		for r := range got {
+			got[r] = inputs[r].Clone()
+			res[r] = tensor.New(dim)
+		}
+		runSPMD(t, n, func(m transport.Mesh) error {
+			srcs := make([][]float64, n)
+			return skewAllReduce(m, 3, got[m.Rank()], OpAverage, offs, wire, res[m.Rank()], srcs)
+		})
+		for r := 1; r < n; r++ {
+			for j := 0; j < dim; j++ {
+				if math.Float64bits(got[r][j]) != math.Float64bits(got[0][j]) {
+					t.Fatalf("wire %v rank %d elem %d: %x != %x", wire, r, j,
+						math.Float64bits(got[r][j]), math.Float64bits(got[0][j]))
+				}
+			}
+		}
+		if wire.PerElement() {
+			ref := exact.Clone()
+			tensor.RoundTrip(wire, ref)
+			for j := range ref {
+				if math.Float64bits(got[0][j]) != math.Float64bits(ref[j]) {
+					t.Fatalf("wire %v elem %d: got %v, want RoundTrip %v", wire, j, got[0][j], ref[j])
+				}
+			}
+		} else {
+			bound := exact.NormInf()/60 + 1e-300
+			for j := range exact {
+				if math.Abs(got[0][j]-exact[j]) > bound {
+					t.Fatalf("i8 elem %d: got %v, want %v (bound %v)", j, got[0][j], exact[j], bound)
+				}
+			}
+		}
+		// The residual is exactly pre−post over each rank's own chunk
+		// (pre is the F64 ring value, bitwise) and zero elsewhere.
+		for r := 0; r < n; r++ {
+			for j := 0; j < dim; j++ {
+				inOwn := j >= offs[r] && j < offs[r+1]
+				if !inOwn && res[r][j] != 0 {
+					t.Fatalf("wire %v rank %d: residual outside own chunk at %d", wire, r, j)
+				}
+				if inOwn {
+					want := exact[j] - got[r][j]
+					if math.Float64bits(res[r][j]) != math.Float64bits(want) {
+						t.Fatalf("wire %v rank %d elem %d: residual %v, want %v", wire, r, j, res[r][j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSkewEngineUniformIsRing: on a mesh with no timing hook (the local
+// in-memory mesh) the engine's plan stays uniform forever and every call is
+// bit-identical to the plain ring — the fallback IS the ring code path.
+func TestSkewEngineUniformIsRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, dim := range []int{64, 4099, 40000} {
+		const n = 4
+		inputs := randomInputs(rng, n, dim)
+		ringGot := make([]tensor.Vector, n)
+		for r := range ringGot {
+			ringGot[r] = inputs[r].Clone()
+		}
+		runSPMD(t, n, func(m transport.Mesh) error {
+			return ringAllReduce(m, 2, ringGot[m.Rank()], OpAverage, 0, tensor.F64, nil)
+		})
+		engGot := make([]tensor.Vector, n)
+		for r := range engGot {
+			engGot[r] = inputs[r].Clone()
+		}
+		runSPMD(t, n, func(m transport.Mesh) error {
+			e, err := NewSkewEngine(m, SkewOptions{})
+			if err != nil {
+				return err
+			}
+			defer e.Close()
+			return e.AllReduce(2, engGot[m.Rank()], OpAverage)
+		})
+		for r := 0; r < n; r++ {
+			for j := 0; j < dim; j++ {
+				if math.Float64bits(engGot[r][j]) != math.Float64bits(ringGot[r][j]) {
+					t.Fatalf("dim=%d rank=%d elem=%d: engine %x ring %x", dim, r, j,
+						math.Float64bits(engGot[r][j]), math.Float64bits(ringGot[r][j]))
+				}
+			}
+		}
+	}
+}
+
+// TestSkewEngineReplanExchange: the epoch-stamped plan exchange leaves every
+// rank with the same weight vector, derived from the rates each rank
+// reported. Rates are injected directly into the per-rank observation
+// stores (no transport hook needed), emulating what the send observer
+// would have recorded.
+func TestSkewEngineReplanExchange(t *testing.T) {
+	const n = 4
+	rates := []float64{4e9, 4e9, 4e9, 1e9} // rank 3 is 4x slower
+	parts := make([]*topology.Partition, n)
+	epochs := make([]int64, n)
+	snaps := make([][]float64, n)
+	runSPMD(t, n, func(m transport.Mesh) error {
+		e, err := NewSkewEngine(m, SkewOptions{FloorElems: -1, MaxSkew: 8})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		// Seed this rank's own outgoing-rate observations.
+		for to := 0; to < n; to++ {
+			if to == m.Rank() {
+				continue
+			}
+			d := int64(float64(1<<20) / rates[m.Rank()] * 1e9)
+			if err := e.Observations().ObserveTransfer(m.Rank(), to, 1<<20, time.Duration(d)); err != nil {
+				return err
+			}
+		}
+		v := tensor.New(8192)
+		v.Fill(float64(m.Rank()))
+		if err := e.AllReduce(0, v, OpAverage); err != nil {
+			return err
+		}
+		parts[m.Rank()] = e.Partition()
+		epochs[m.Rank()] = e.Epoch()
+		snaps[m.Rank()] = e.LastRates()
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		if epochs[r] != 1 {
+			t.Fatalf("rank %d epoch %d, want 1", r, epochs[r])
+		}
+		if parts[r].Epoch != 1 {
+			t.Fatalf("rank %d partition epoch %d", r, parts[r].Epoch)
+		}
+		for i, w := range parts[r].Weights {
+			if math.Float64bits(w) != math.Float64bits(parts[0].Weights[i]) {
+				t.Fatalf("rank %d weight[%d] %v != rank 0's %v", r, i, w, parts[0].Weights[i])
+			}
+		}
+	}
+	if parts[0].Uniform() {
+		t.Fatalf("skewed rates produced a uniform plan: %v", parts[0].Weights)
+	}
+	// Rank 0 (the planning rank) holds the full gathered rate snapshot.
+	if len(snaps[0]) != n {
+		t.Fatalf("rank 0 rate snapshot %v, want %d entries", snaps[0], n)
+	}
+	for i, r := range snaps[0] {
+		if math.Abs(r-rates[i]) > 0.01*rates[i] {
+			t.Fatalf("rank 0 gathered rate[%d] = %v, want ~%v", i, r, rates[i])
+		}
+	}
+	// Rank 3 reported 1/4 the rate: its weight must be ~1/4 of the others'.
+	ratio := parts[0].Weights[0] / parts[0].Weights[3]
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("weight ratio %v, want ~4 (weights %v)", ratio, parts[0].Weights)
+	}
+	// And results on a skewed plan still match the serial reference.
+	rng := rand.New(rand.NewSource(37))
+	const dim = 40000
+	inputs := randomInputs(rng, n, dim)
+	want := serialSum(inputs, OpAverage)
+	got := make([]tensor.Vector, n)
+	for r := range got {
+		got[r] = inputs[r].Clone()
+	}
+	runSPMD(t, n, func(m transport.Mesh) error {
+		e, err := NewSkewEngine(m, SkewOptions{FloorElems: -1, MaxSkew: 8})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		for to := 0; to < n; to++ {
+			if to == m.Rank() {
+				continue
+			}
+			d := int64(float64(1<<20) / rates[m.Rank()] * 1e9)
+			if err := e.Observations().ObserveTransfer(m.Rank(), to, 1<<20, time.Duration(d)); err != nil {
+				return err
+			}
+		}
+		return e.AllReduce(0, got[m.Rank()], OpAverage)
+	})
+	for r := range got {
+		if j, ok := withinTol(got[r], want, 1e-12); !ok {
+			t.Fatalf("rank %d elem %d: got %v, want %v", r, j, got[r][j], want[j])
+		}
+	}
+}
+
+// TestSkewEngineValidation: schedules the engine cannot run are rejected.
+func TestSkewEngineValidation(t *testing.T) {
+	runSPMD(t, 1, func(m transport.Mesh) error {
+		e, err := NewSkewEngine(m, SkewOptions{})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		v := tensor.New(8)
+		if err := e.AllReduceOpts(0, v, OpSum, Options{Algorithm: AlgoTree}); err == nil {
+			t.Error("pinned tree accepted")
+		}
+		if err := e.AllReduceOpts(0, v, OpSum, Options{TopK: 3}); err == nil {
+			t.Error("top-k accepted")
+		}
+		if err := e.AllReduceOpts(0, v, OpSum, Options{Residual: tensor.New(4)}); err == nil {
+			t.Error("mis-sized residual accepted")
+		}
+		return e.AllReduce(0, v, OpSum) // n=1 no-op still counts a call
+	})
+}
+
+// TestSkewEngineOverTCPAdapts is the end-to-end online loop: a TCP mesh
+// with one slow rank (per-peer paced links), no seeded observations — the
+// engine must discover the skew from its own send timings, re-plan into an
+// unequal partition, and keep every iteration's result equal to the serial
+// reference.
+func TestSkewEngineOverTCPAdapts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster in -short mode")
+	}
+	const n = 4
+	const dim = 32 << 10 // 256 KiB
+	const fast, slow = 80e6, 20e6
+	meshes, err := transport.NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	for _, m := range meshes {
+		rate := fast
+		if m.Rank() == n-1 {
+			rate = slow
+		}
+		for to := 0; to < n; to++ {
+			if to == m.Rank() {
+				continue
+			}
+			if err := m.SetPeerLinkRate(to, rate); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(53))
+	engines := make([]*SkewEngine, n)
+	for _, m := range meshes {
+		e, err := NewSkewEngine(m, SkewOptions{MaxSkew: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		engines[m.Rank()] = e
+	}
+	const iters = 8
+	for it := 0; it < iters; it++ {
+		inputs := randomInputs(rng, n, dim)
+		want := serialSum(inputs, OpAverage)
+		got := make([]tensor.Vector, n)
+		done := make(chan error, n)
+		for _, m := range meshes {
+			m := m
+			got[m.Rank()] = inputs[m.Rank()].Clone()
+			go func() { done <- engines[m.Rank()].AllReduce(int64(it), got[m.Rank()], OpAverage) }()
+		}
+		for i := 0; i < n; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("iter %d: %v", it, err)
+			}
+		}
+		for r := range got {
+			if j, ok := withinTol(got[r], want, 1e-12); !ok {
+				t.Fatalf("iter %d rank %d elem %d: got %v, want %v", it, r, j, got[r][j], want[j])
+			}
+		}
+	}
+	part := engines[0].Partition()
+	if part.Uniform() {
+		t.Fatalf("engine never adapted: weights %v after %d iters", part.Weights, iters)
+	}
+	wSlow := part.Weights[n-1]
+	for r := 0; r < n-1; r++ {
+		if part.Weights[r] <= wSlow {
+			t.Fatalf("slow rank did not get the smallest weight: %v", part.Weights)
+		}
+	}
+	ratio := part.Weights[0] / wSlow
+	if ratio < 2 {
+		t.Fatalf("fast/slow weight ratio %.2f, want >= 2 (true skew 4): %v", ratio, part.Weights)
+	}
+	if engines[0].Epoch() < iters {
+		t.Fatalf("epoch %d after %d iters with replan-every-1", engines[0].Epoch(), iters)
+	}
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import "fmt"
+
+// Weighted (skew-proportional) partitioning.
+//
+// The equal partition assigns every rank the same chunk regardless of how
+// fast its links move bytes, so the slowest link binds the collective. The
+// weighted partition sizes chunk i proportionally to weights[i] (a relative
+// speed), subject to two safety bounds:
+//
+//   - a max-skew clamp: no weight counts as less than max(weights)/maxSkew,
+//     so a mismeasured (or genuinely dead) link cannot starve a rank to a
+//     sliver and blow up the fast ranks' chunks without bound;
+//   - a floor: no chunk is sized below floorElems (capped at total/n so the
+//     floor stays satisfiable), keeping per-message framing overhead
+//     amortized even for the slowest rank.
+//
+// Rounding uses the largest-remainder method with index-order tie-breaking,
+// which makes the partition a pure function of (total, weights, floor,
+// maxSkew): permuting equal weights permutes nothing, and uniform weights
+// reproduce the equal partition of Partition/ChunkBounds exactly — the
+// first total%n chunks are one element longer — so a skew plan built on a
+// uniform fabric is bit-identical to the unweighted schedule.
+
+// DefaultMaxSkew is the default largest-to-smallest chunk ratio the clamp
+// allows. Beyond ~8× the marginal rebalancing gain is tiny while the outsized
+// chunks start to dominate the fast links' own service time.
+const DefaultMaxSkew = 8.0
+
+// WeightedSizes splits total elements into len(weights) contiguous chunk
+// sizes proportional to the weights. weights must be positive and finite;
+// floorElems <= 0 disables the floor; maxSkew < 1 selects DefaultMaxSkew
+// (maxSkew == 1 forces the equal partition). The returned sizes sum to
+// total exactly.
+func WeightedSizes(total int, weights []float64, floorElems int, maxSkew float64) ([]int, error) {
+	n := len(weights)
+	if n <= 0 {
+		return nil, fmt.Errorf("tensor: weighted partition into %d chunks", n)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("tensor: weighted partition of %d elements", total)
+	}
+	if maxSkew < 1 {
+		maxSkew = DefaultMaxSkew
+	}
+	var maxW float64
+	for i, w := range weights {
+		if !(w > 0) || w > 1e300 {
+			return nil, fmt.Errorf("tensor: weight[%d] = %v", i, w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	sizes := make([]int, n)
+
+	// Clamp, then compute ideal fractional shares.
+	clamped := make([]float64, n)
+	var sum float64
+	minW := maxW / maxSkew
+	for i, w := range weights {
+		if w < minW {
+			w = minW
+		}
+		clamped[i] = w
+		sum += w
+	}
+
+	// Largest-remainder rounding: floor every ideal share, then hand the
+	// leftover elements to the largest fractional parts, ties to the lower
+	// index. For uniform weights every fractional part is the same
+	// total%n/n, so the first total%n chunks get the extra element —
+	// exactly Partition's layout.
+	type frac struct {
+		i int
+		f float64
+	}
+	fr := make([]frac, n)
+	assigned := 0
+	for i, w := range clamped {
+		ideal := float64(total) * (w / sum)
+		s := int(ideal)
+		if s > total {
+			s = total
+		}
+		sizes[i] = s
+		assigned += s
+		fr[i] = frac{i: i, f: ideal - float64(s)}
+	}
+	// Stable selection of the total-assigned largest remainders. Insertion
+	// sort by descending fraction, index ascending on ties: n is small
+	// (rank count) and allocation-light beats sort.Slice's closure here.
+	for i := 1; i < n; i++ {
+		x := fr[i]
+		j := i - 1
+		for j >= 0 && (fr[j].f < x.f || (fr[j].f == x.f && fr[j].i > x.i)) {
+			fr[j+1] = fr[j]
+			j--
+		}
+		fr[j+1] = x
+	}
+	for k := 0; k < total-assigned; k++ {
+		sizes[fr[k%n].i]++
+	}
+
+	// Floor pass: raise starved chunks to the (satisfiable) floor, taking
+	// elements one at a time from the currently largest chunk, lowest index
+	// on ties — deterministic and skew-reducing, so it cannot re-starve.
+	floor := floorElems
+	if floor > total/n {
+		floor = total / n
+	}
+	if floor > 0 {
+		for i := 0; i < n; i++ {
+			for sizes[i] < floor {
+				big, bigAt := -1, -1
+				for j, s := range sizes {
+					if s > big {
+						big, bigAt = s, j
+					}
+				}
+				if big <= floor {
+					break
+				}
+				sizes[bigAt]--
+				sizes[i]++
+			}
+		}
+	}
+	return sizes, nil
+}
+
+// WeightedOffsets converts chunk sizes into the n+1 prefix-sum offsets the
+// collective schedules index with: chunk i spans [offs[i], offs[i+1]).
+func WeightedOffsets(sizes []int) []int {
+	offs := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		offs[i+1] = offs[i] + s
+	}
+	return offs
+}
+
+// UniformOffsets reports whether offs describes exactly the equal partition
+// of total elements into len(offs)-1 chunks — the predicate that lets a
+// skew-aware caller fall back to the unweighted (bit-identical, pooled)
+// schedule when the plan degenerates to uniform.
+func UniformOffsets(offs []int) bool {
+	n := len(offs) - 1
+	if n <= 0 || offs[0] != 0 {
+		return false
+	}
+	total := offs[n]
+	for i := 0; i < n; i++ {
+		s, e, err := ChunkBounds(total, n, i)
+		if err != nil || offs[i] != s || offs[i+1] != e {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkCover asserts the partition's structural invariants: exact coverage
+// with no overlap (sizes sum to total, all non-negative).
+func checkCover(t *testing.T, sizes []int, total int) {
+	t.Helper()
+	sum := 0
+	for i, s := range sizes {
+		if s < 0 {
+			t.Fatalf("chunk %d has negative size %d", i, s)
+		}
+		sum += s
+	}
+	if sum != total {
+		t.Fatalf("sizes cover %d of %d elements", sum, total)
+	}
+}
+
+// TestWeightedSizesProperty: for arbitrary positive speed vectors the
+// partition exactly covers the vector, honors the floor, and stays within
+// the max-skew clamp.
+func TestWeightedSizesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(12)
+		total := rng.Intn(1 << 16)
+		floor := rng.Intn(64)
+		maxSkew := 1 + rng.Float64()*8
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1e-3 + rng.Float64()*10
+			if rng.Intn(8) == 0 {
+				weights[i] *= 1e6 // inject extreme outliers the clamp must tame
+			}
+		}
+		sizes, err := WeightedSizes(total, weights, floor, maxSkew)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkCover(t, sizes, total)
+
+		effFloor := floor
+		if effFloor > total/n {
+			effFloor = total / n
+		}
+		lo, hi := sizes[0], sizes[0]
+		for i, s := range sizes {
+			if s < effFloor {
+				t.Fatalf("trial %d: chunk %d size %d below floor %d (sizes %v)", trial, i, s, effFloor, sizes)
+			}
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		// The integer partition can exceed the weight-level clamp only by
+		// rounding slop (±1 element around each ideal share).
+		if lo > 0 && float64(hi-1) > maxSkew*float64(lo+1) {
+			t.Fatalf("trial %d: skew %d/%d exceeds clamp %v (sizes %v)", trial, hi, lo, maxSkew, sizes)
+		}
+
+		// Offsets are the prefix sums.
+		offs := WeightedOffsets(sizes)
+		if offs[0] != 0 || offs[n] != total {
+			t.Fatalf("trial %d: offsets %v do not span [0,%d)", trial, offs, total)
+		}
+		for i := 0; i < n; i++ {
+			if offs[i+1]-offs[i] != sizes[i] {
+				t.Fatalf("trial %d: offset %d span %d != size %d", trial, i, offs[i+1]-offs[i], sizes[i])
+			}
+		}
+	}
+}
+
+// TestWeightedSizesUniformMatchesEqual: uniform weights reproduce the equal
+// partition bitwise — chunk for chunk identical to ChunkBounds — for any
+// common scale of the weights.
+func TestWeightedSizesUniformMatchesEqual(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		for _, total := range []int{0, 1, n - 1, n, n + 1, 4097, 1 << 16} {
+			if total < 0 {
+				continue
+			}
+			for _, scale := range []float64{1, 0.25, 3.7e9} {
+				weights := make([]float64, n)
+				for i := range weights {
+					weights[i] = scale
+				}
+				sizes, err := WeightedSizes(total, weights, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkCover(t, sizes, total)
+				offs := WeightedOffsets(sizes)
+				for i := 0; i < n; i++ {
+					s, e, err := ChunkBounds(total, n, i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if offs[i] != s || offs[i+1] != e {
+						t.Fatalf("n=%d total=%d scale=%v chunk %d: [%d,%d) want [%d,%d)",
+							n, total, scale, i, offs[i], offs[i+1], s, e)
+					}
+				}
+				if !UniformOffsets(offs) {
+					t.Fatalf("n=%d total=%d: uniform offsets not recognized: %v", n, total, offs)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedSizesPermutation: permuting the speed vector permutes the
+// sizes the same way when weights are distinct, and equal weights always
+// get sizes within one element of each other (index-order tie-breaking is
+// the only asymmetry).
+func TestWeightedSizesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(8)
+		total := 1 + rng.Intn(1<<14)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()*4
+		}
+		sizes, err := WeightedSizes(total, weights, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Swap two positions; the sizes at those positions must be within
+		// one element of a matching swap (rounding may move the ±1
+		// remainder element between positions, never more).
+		i, j := rng.Intn(n), rng.Intn(n)
+		weights[i], weights[j] = weights[j], weights[i]
+		swapped, err := WeightedSizes(total, weights, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCover(t, swapped, total)
+		for k := 0; k < n; k++ {
+			want := sizes[k]
+			switch k {
+			case i:
+				want = sizes[j]
+			case j:
+				want = sizes[i]
+			}
+			if d := swapped[k] - want; d < -1 || d > 1 {
+				t.Fatalf("trial %d: swap(%d,%d) moved chunk %d from %d to %d", trial, i, j, k, want, swapped[k])
+			}
+		}
+	}
+	// Exactly-equal weights: deterministic under permutation (permuting
+	// equal entries changes nothing at all).
+	for _, n := range []int{2, 5, 9} {
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 2.5
+		}
+		a, err := WeightedSizes(1<<14+3, weights, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := WeightedSizes(1<<14+3, weights, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("equal-weight partition not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestWeightedSizesSkewProportional: a 4:1 speed vector yields chunks in
+// ~4:1 proportion (within integer rounding) when the clamp allows it.
+func TestWeightedSizesSkewProportional(t *testing.T) {
+	weights := []float64{4, 4, 4, 1}
+	sizes, err := WeightedSizes(13000, weights, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, sizes, 13000)
+	if sizes[3] != 1000 {
+		t.Fatalf("slow chunk %d, want 1000 (sizes %v)", sizes[3], sizes)
+	}
+	for i := 0; i < 3; i++ {
+		if sizes[i] != 4000 {
+			t.Fatalf("fast chunk %d = %d, want 4000", i, sizes[i])
+		}
+	}
+	// Clamp binds: with maxSkew 2 the slow rank keeps at least half a fast
+	// share.
+	sizes, err = WeightedSizes(13000, weights, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, sizes, 13000)
+	if lo := sizes[3]; float64(sizes[0]) > 2.01*float64(lo) {
+		t.Fatalf("clamp 2 violated: %v", sizes)
+	}
+	// Floor binds: no chunk below the floor even for a starved weight.
+	sizes, err = WeightedSizes(4096, []float64{100, 100, 100, 1e-9}, 512, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, sizes, 4096)
+	if sizes[3] < 512 {
+		t.Fatalf("floor violated: %v", sizes)
+	}
+}
+
+// TestWeightedSizesErrors: invalid inputs are rejected.
+func TestWeightedSizesErrors(t *testing.T) {
+	if _, err := WeightedSizes(10, nil, 0, 0); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := WeightedSizes(-1, []float64{1}, 0, 0); err == nil {
+		t.Fatal("negative total accepted")
+	}
+	for _, bad := range []float64{0, -1} {
+		if _, err := WeightedSizes(10, []float64{1, bad}, 0, 0); err == nil {
+			t.Fatalf("weight %v accepted", bad)
+		}
+	}
+}

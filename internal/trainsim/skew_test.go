@@ -1,0 +1,53 @@
+package trainsim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestAllReduceCostLinkSkew pins the pricing ladder: a homogeneous fabric
+// keeps the historical price, an uneven fabric without SkewAware is paced
+// by its slowest link, and SkewAware recovers most of the gap via the
+// weighted exchange — never pricing above the equal-chunk alternative.
+func TestAllReduceCostLinkSkew(t *testing.T) {
+	const n = 8
+	const bytes = 8 << 18 // 2 MiB fp64 payload
+	base := &Config{Comm: workload.TenGbEComm()}
+	flat := base.allReduceCost(n, bytes)
+
+	slow := &Config{Comm: workload.TenGbEComm(),
+		LinkSpeedFactors: []float64{4, 4, 4, 4, 4, 4, 4, 1}}
+	paced := slow.allReduceCost(n, bytes)
+	if paced <= flat {
+		t.Fatalf("slowest-link pacing %v not above homogeneous %v", paced, flat)
+	}
+
+	aware := &Config{Comm: workload.TenGbEComm(), SkewAware: true,
+		LinkSpeedFactors: []float64{4, 4, 4, 4, 4, 4, 4, 1}}
+	skew := aware.allReduceCost(n, bytes)
+	if skew >= paced {
+		t.Fatalf("skew-aware %v not below slowest-link pacing %v", skew, paced)
+	}
+	if ratio := float64(paced) / float64(skew); ratio < 1.4 {
+		t.Fatalf("skew-aware speedup %.2fx at 4:1, want >= 1.4x", ratio)
+	}
+
+	// Uniform factors (any scale) are the homogeneous fabric.
+	uni := &Config{Comm: workload.TenGbEComm(), SkewAware: true,
+		LinkSpeedFactors: []float64{2, 2, 2, 2, 2, 2, 2, 2}}
+	if got := uni.allReduceCost(n, bytes); got != flat {
+		t.Fatalf("uniform factors priced %v, want %v", got, flat)
+	}
+
+	// Pinned non-ring schedules keep slowest-link pacing (the runtime
+	// engine refuses them, so the simulator must not price the skew
+	// schedule for them).
+	tree := &Config{Comm: workload.TenGbEComm(), SkewAware: true,
+		Collective:       workload.AllReduceTree,
+		LinkSpeedFactors: []float64{4, 4, 4, 4, 4, 4, 4, 1}}
+	treeFlat := &Config{Comm: workload.TenGbEComm(), Collective: workload.AllReduceTree}
+	if got, want := tree.allReduceCost(n, bytes), treeFlat.allReduceCost(n, bytes); got <= want {
+		t.Fatalf("pinned tree under skew priced %v, want above homogeneous %v", got, want)
+	}
+}

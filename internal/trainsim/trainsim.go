@@ -123,6 +123,21 @@ type Config struct {
 	// paper's Table 2 testbed mixes K80, 1080Ti and 2080Ti GPUs).
 	// Missing entries default to 1.
 	SpeedFactors []float64
+	// LinkSpeedFactors optionally scales each worker's link rate
+	// relative to the fabric mean (network heterogeneity — the
+	// communication-side mirror of SpeedFactors). When the vector is
+	// uneven, collectives are paced by the slowest link; with SkewAware
+	// set they are instead priced as the skew-proportional weighted
+	// exchange of collective.SkewEngine when the cost model says it
+	// wins. A nil, short, or non-positive vector prices a homogeneous
+	// fabric.
+	LinkSpeedFactors []float64
+	// SkewAware opts collective pricing into the skew-proportional
+	// partition (workload.SkewAllReduceWire) on uneven LinkSpeedFactors.
+	// Only dense ring/auto schedules qualify — top-k and pinned
+	// tree/halving-doubling keep slowest-link pacing, mirroring what the
+	// runtime SkewEngine accepts.
+	SkewAware bool
 
 	// Probes is RNA's power-of-choices q (default 2).
 	Probes int
@@ -254,13 +269,65 @@ func (c *Config) evalEvery() int {
 // payload size; compressed wires are priced per element so the dtype's
 // actual wire bytes (including I8's per-block scales) are charged.
 func (c *Config) allReduceCost(n int, bytes int64) time.Duration {
-	if c.TopK > 0 {
-		return c.Comm.TopKAllReduce(n, int(bytes/8), c.TopK)
+	var base time.Duration
+	switch {
+	case c.TopK > 0:
+		base = c.Comm.TopKAllReduce(n, int(bytes/8), c.TopK)
+	case c.Compression == tensor.F64:
+		base = c.Comm.AllReduce(c.Collective, n, bytes)
+	default:
+		base = c.Comm.AllReduceWire(c.Collective, n, int(bytes/8), c.Compression)
 	}
-	if c.Compression == tensor.F64 {
-		return c.Comm.AllReduce(c.Collective, n, bytes)
+	w, min := c.linkWeights(n)
+	if w == nil {
+		return base
 	}
-	return c.Comm.AllReduceWire(c.Collective, n, int(bytes/8), c.Compression)
+	// Every equal-share schedule is paced by its slowest link.
+	equal := time.Duration(float64(base) / min)
+	if !c.SkewAware || c.TopK > 0 ||
+		(c.Collective != workload.AllReduceRing && c.Collective != workload.AllReduceAuto) {
+		return equal
+	}
+	if skew := c.Comm.SkewAllReduceWire(n, int(bytes/8), c.Compression, w); skew < equal {
+		return skew
+	}
+	return equal
+}
+
+// linkWeights returns the first n LinkSpeedFactors (missing entries 1) and
+// the smallest mean-relative weight, or (nil, 1) when the fabric is
+// effectively homogeneous — unset, uniform, or invalid factors.
+func (c *Config) linkWeights(n int) ([]float64, float64) {
+	if n <= 1 || len(c.LinkSpeedFactors) == 0 {
+		return nil, 1
+	}
+	w := make([]float64, n)
+	uniform := true
+	var sum float64
+	for i := range w {
+		w[i] = 1
+		if i < len(c.LinkSpeedFactors) {
+			f := c.LinkSpeedFactors[i]
+			if !(f > 0) {
+				return nil, 1
+			}
+			w[i] = f
+		}
+		if w[i] != w[0] {
+			uniform = false
+		}
+		sum += w[i]
+	}
+	if uniform {
+		return nil, 1
+	}
+	min := w[0]
+	for _, f := range w[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return w, min * float64(n) / sum
 }
 
 // overlapBuckets returns the priced bucket count (min 1).

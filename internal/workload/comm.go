@@ -304,6 +304,86 @@ func (c CommModel) TopKAllReduce(n int, elems, k int) time.Duration {
 	return d + c.Broadcast(n, int64(entryBytes*union))
 }
 
+// skewShares normalizes per-rank link weights to mean 1 and reports the
+// minimum normalized weight. A nil/short/invalid weight vector returns
+// (nil, 1): the fabric is priced as homogeneous.
+func skewShares(n int, weights []float64) ([]float64, float64) {
+	if n <= 1 || len(weights) != n {
+		return nil, 1
+	}
+	var sum float64
+	uniform := true
+	for _, w := range weights {
+		if !(w > 0) {
+			return nil, 1
+		}
+		if w != weights[0] {
+			uniform = false
+		}
+		sum += w
+	}
+	if uniform {
+		// A uniform fabric is priced as the plain ring — the engine's
+		// fallback path, bit-identical schedule and all.
+		return nil, 1
+	}
+	mean := sum / float64(n)
+	norm := make([]float64, n)
+	min := weights[0] / mean
+	for i, w := range weights {
+		norm[i] = w / mean
+		if norm[i] < min {
+			min = norm[i]
+		}
+	}
+	return norm, min
+}
+
+// RingAllReduceSkew prices the equal-chunk ring on a heterogeneous fabric:
+// every rank relays the same byte volume, so the slowest link — the
+// smallest weight relative to the mean (the calibrated Bandwidth) — paces
+// the whole schedule. Uniform weights reduce exactly to RingAllReduce.
+func (c CommModel) RingAllReduceSkew(n int, bytes int64, weights []float64) time.Duration {
+	base := c.RingAllReduce(n, bytes)
+	_, min := skewShares(n, weights)
+	return time.Duration(float64(base) / min)
+}
+
+// SkewAllReduceWire prices the skew-aware weighted direct exchange of
+// internal/collective's SkewEngine: chunk shares proportional to the link
+// weights, one-hop reduce-scatter shipping fp64 partial inputs, owner-side
+// quantization, one-hop allgather shipping the wire dtype. Rank r's
+// critical path is its own serialized traffic — (B − b_r) scatter bytes
+// plus (n−1)·b_r gather bytes over a link running at w_r/mean(w) times the
+// calibrated Bandwidth, behind 2(n−1) message latencies — and the
+// collective finishes when the slowest rank does. Mirrors
+// collective.CostModel.PredictSkewWireNs.
+func (c CommModel) SkewAllReduceWire(n int, elems int, wire tensor.Dtype, weights []float64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	norm, _ := skewShares(n, weights)
+	if norm == nil {
+		return c.RingAllReduceWire(n, elems, wire)
+	}
+	var worst time.Duration
+	msgs := time.Duration(2 * (n - 1))
+	for _, w := range norm {
+		chunk := int(float64(elems) * w / float64(n))
+		t := msgs*c.Latency + time.Duration(float64(c.bytesCost(8*int64(elems-chunk))+c.bytesCost(int64((n-1)*wire.WireBytes(chunk))))/w)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// SkewAllReduce is SkewAllReduceWire for an uncompressed fp64 payload of
+// the given byte size.
+func (c CommModel) SkewAllReduce(n int, bytes int64, weights []float64) time.Duration {
+	return c.SkewAllReduceWire(n, int(bytes/8), tensor.F64, weights)
+}
+
 // NaiveAllReduce returns the cost of the gather-then-broadcast alternative
 // (everyone sends the full buffer to a root which broadcasts back): 2(N−1)
 // full-size serialized transfers at the root's link. Used by the ablation

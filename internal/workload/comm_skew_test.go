@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestSkewAllReduceUniformIsRing: uniform (or invalid) weights price
+// exactly the homogeneous ring — the SkewEngine's fallback.
+func TestSkewAllReduceUniformIsRing(t *testing.T) {
+	c := TenGbEComm()
+	const n, elems = 8, 1 << 18
+	want := c.RingAllReduceWire(n, elems, tensor.F64)
+	for _, w := range [][]float64{
+		nil,
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{3, 3, 3, 3, 3, 3, 3, 3},
+		{1, 2},                    // wrong length
+		{1, 1, 1, 1, 1, 1, 1, -4}, // invalid entry
+	} {
+		if got := c.SkewAllReduceWire(n, elems, tensor.F64, w); got != want {
+			t.Fatalf("weights %v: got %v, want ring %v", w, got, want)
+		}
+	}
+	if got := c.RingAllReduceSkew(n, 8*elems, nil); got != c.RingAllReduce(n, 8*elems) {
+		t.Fatalf("uniform RingAllReduceSkew %v != RingAllReduce %v", got, c.RingAllReduce(n, 8*elems))
+	}
+}
+
+// TestSkewAllReduceBeatsSlowRing: at 4:1 link skew the weighted exchange
+// must price well below the slowest-link-paced equal ring — the virtual
+// fabric's version of the benchmark gate.
+func TestSkewAllReduceBeatsSlowRing(t *testing.T) {
+	c := TenGbEComm()
+	const n = 8
+	const elems = 1 << 18 // 2 MiB of fp64
+	weights := []float64{4, 4, 4, 4, 4, 4, 4, 1}
+	skew := c.SkewAllReduceWire(n, elems, tensor.F64, weights)
+	equal := c.RingAllReduceSkew(n, 8*elems, weights)
+	if skew <= 0 || equal <= 0 {
+		t.Fatalf("degenerate prices skew=%v equal=%v", skew, equal)
+	}
+	if ratio := float64(equal) / float64(skew); ratio < 1.4 {
+		t.Fatalf("skew speedup %.2fx at 4:1, want >= 1.4x (skew %v, equal %v)", ratio, skew, equal)
+	}
+	// The equal ring on the skewed fabric must be slower than on the
+	// homogeneous one (the slow link paces it below the mean).
+	base := c.RingAllReduce(n, 8*elems)
+	if equal <= base {
+		t.Fatalf("skewed fabric ring %v not slower than homogeneous %v", equal, base)
+	}
+	if skew >= equal {
+		t.Fatalf("weighted exchange %v not cheaper than slow ring %v", skew, equal)
+	}
+}
