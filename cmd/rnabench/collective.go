@@ -178,6 +178,14 @@ type collectiveBenchReport struct {
 	Skew                  []skewRow `json:"skew"`
 	GateSkewSpeedup       float64   `json:"gate_skew_speedup_256k"`
 	GateSkewConvergeIters int       `json:"gate_skew_converge_iters"`
+	// Sharded is the owner-computes half-collective sweep (see
+	// shardbench.go): ReduceScatter, AllGather, their composition — the
+	// schedule the sharded optimizer path runs every iteration — and the
+	// fused pipelined ring at the n8/256K acceptance point.
+	// GateShardedComposedRatio is composed ns / fused ring ns; the bar is
+	// <= 1.1 — first-classing the halves must not give up more than 10%.
+	Sharded                  []collectiveBenchCase `json:"sharded"`
+	GateShardedComposedRatio float64               `json:"gate_sharded_composed_ratio"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -789,6 +797,9 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 	if err := runSkewSweep(&rep); err != nil {
 		return err
 	}
+	if err := runShardSweep(&rep); err != nil {
+		return err
+	}
 	for _, cur := range rep.Current {
 		for _, seed := range rep.Seed {
 			if cur.Name == "RingAllReduce" && cur.Name == seed.Name && cur.Ranks == 8 && seed.Ranks == 8 && cur.Dim == seed.Dim {
@@ -826,5 +837,7 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 		rep.GateFramingSmallSpeedup, rep.GateFramingAllocsPerOp, rep.GateFramingHeaderPct)
 	fmt.Fprintf(os.Stderr, "collective bench: skew speedup %.2fx at 256KiB/4:1 (gate >= 1.4), plan within 5%% of oracle in %d iters (gate <= 20)\n",
 		rep.GateSkewSpeedup, rep.GateSkewConvergeIters)
+	fmt.Fprintf(os.Stderr, "collective bench: sharded RS+AG / fused ring %.2fx at n8/256K (gate <= 1.1)\n",
+		rep.GateShardedComposedRatio)
 	return nil
 }

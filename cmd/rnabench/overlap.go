@@ -312,6 +312,9 @@ func runBenchSmoke() error {
 	if err := smokeRingRegression("BENCH_collective.json"); err != nil {
 		return fmt.Errorf("bench-smoke ring regression: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, 64-rank multi-level bit-identical, skew engine bit-identical to ring, params bit-identical)\n", buckets, inFlight)
+	if err := smokeSharded(); err != nil {
+		return fmt.Errorf("bench-smoke sharded: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench-smoke: ok (%d buckets, %d in flight, 64-rank multi-level bit-identical, skew engine bit-identical to ring, sharded Adam bit-identical to replicated, params bit-identical)\n", buckets, inFlight)
 	return nil
 }

@@ -45,8 +45,26 @@ type trainBenchReport struct {
 	GateModelSpeedup float64 `json:"gate_model_gradient_speedup"`
 	// GateTrainsimSpeedup is the parallel engine's wall-clock gain over
 	// the serial engine on the BSP benchmark in THIS run (≥2x expected on
-	// a multi-core machine; ~1x when GOMAXPROCS=1).
-	GateTrainsimSpeedup float64 `json:"gate_trainsim_parallel_speedup"`
+	// a multi-core machine). At GOMAXPROCS=1 the gate is OMITTED — a
+	// single core cannot demonstrate fan-out speedup, and recording the
+	// inevitable ~1.0 as a "gate" would read as a regression — and
+	// ParallelGateNote says why.
+	GateTrainsimSpeedup float64 `json:"gate_trainsim_parallel_speedup,omitempty"`
+	// ParallelGateNote explains an omitted parallel gate.
+	ParallelGateNote string `json:"parallel_gate_note,omitempty"`
+	// GateShardedAdamSpeedup is the owner-computes path's end-to-end gain
+	// over the replicated baseline — real 8-rank core.RunBSPWorker runs
+	// with Adam on the MLP. The replicated path runs the fused ring
+	// AllReduce and every rank steps the optimizer over dim; the sharded
+	// path runs the decomposed ring halves with each owner stepping dim/8
+	// between them. The bar is >= 1.2.
+	GateShardedAdamSpeedup float64 `json:"gate_sharded_adam_speedup"`
+	// OptStateBytesReplicated / OptStateBytesShardedMax record each
+	// path's per-rank optimizer state; OptStateReduction is their ratio
+	// (~N for N uniform ranks — the ZeRO-style memory win).
+	OptStateBytesReplicated int64   `json:"opt_state_bytes_replicated_per_rank"`
+	OptStateBytesShardedMax int64   `json:"opt_state_bytes_sharded_max_per_rank"`
+	OptStateReduction       float64 `json:"opt_state_reduction"`
 }
 
 // trainSeedBaseline holds the seed-commit measurements of the identical
@@ -229,8 +247,17 @@ func runTrainBench(outPath string) error {
 	if ns := cur("ModelGradient/MLP"); ns > 0 {
 		rep.GateModelSpeedup = float64(seed("ModelGradient/MLP")) / float64(ns)
 	}
-	if ns := cur("Trainsim/BSP/parallel"); ns > 0 {
+	// The parallel-speedup gate is only meaningful when there is
+	// parallelism to demonstrate: on a single-core host the fan-out
+	// engine is correct but cannot be faster, so the gate is refused
+	// rather than recorded as a spurious ~1.0.
+	if rep.GOMAXPROCS <= 1 {
+		rep.ParallelGateNote = "gate_trainsim_parallel_speedup omitted: GOMAXPROCS=1 — the parallel engine cannot demonstrate speedup on one core"
+	} else if ns := cur("Trainsim/BSP/parallel"); ns > 0 {
 		rep.GateTrainsimSpeedup = float64(cur("Trainsim/BSP/serial")) / float64(ns)
+	}
+	if err := runShardedTrainBench(&rep); err != nil {
+		return err
 	}
 
 	f, err := os.Create(outPath)
@@ -246,7 +273,13 @@ func runTrainBench(outPath string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "train bench: wrote %s (GOMAXPROCS=%d, model gradient %.2fx vs seed, trainsim parallel %.2fx vs serial)\n",
-		outPath, rep.GOMAXPROCS, rep.GateModelSpeedup, rep.GateTrainsimSpeedup)
+	parallelNote := fmt.Sprintf("trainsim parallel %.2fx vs serial", rep.GateTrainsimSpeedup)
+	if rep.ParallelGateNote != "" {
+		parallelNote = "parallel gate omitted (GOMAXPROCS=1)"
+	}
+	fmt.Fprintf(os.Stderr, "train bench: wrote %s (GOMAXPROCS=%d, model gradient %.2fx vs seed, %s)\n",
+		outPath, rep.GOMAXPROCS, rep.GateModelSpeedup, parallelNote)
+	fmt.Fprintf(os.Stderr, "train bench: sharded Adam %.2fx vs replicated at 8 ranks (gate >= 1.2), opt state %d -> %d bytes/rank (%.1fx reduction)\n",
+		rep.GateShardedAdamSpeedup, rep.OptStateBytesReplicated, rep.OptStateBytesShardedMax, rep.OptStateReduction)
 	return nil
 }

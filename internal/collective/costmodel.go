@@ -453,6 +453,39 @@ func SelectAlgorithmWire(n, elems int, wire tensor.Dtype) Algorithm {
 	return ActiveCostModel().SelectWire(n, elems, wire)
 }
 
+// Half-collective pricing for the owner-computes sharded update path
+// (ReduceScatter / AllGather in shard.go). Both run the direct weighted
+// exchange: each rank sends n−1 serialized messages, so the message term
+// matches one half of the skew exchange. The reduction half always ships
+// fp64; the gather half ships the parameter allgather's wire dtype.
+
+// PredictReduceScatterNs prices one direct-exchange ReduceScatter of elems
+// fp64 elements across n ranks under (near-)uniform ownership: each rank
+// scatters the (n−1)/n of the vector it does not own, behind n−1 message
+// latencies.
+func (c CostModel) PredictReduceScatterNs(n, elems int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	k := c.Ring
+	msgs := float64(n - 1)
+	vol := float64(n-1) / float64(n) * 8 * float64(elems)
+	return msgs*k.AlphaNs + vol*k.BetaNsPerByte
+}
+
+// PredictAllGatherWireNs prices one direct-exchange AllGather of elems
+// elements across n ranks with the given wire dtype: each rank ships its
+// owned chunk (≈ elems/n, wire-encoded) to the n−1 peers.
+func (c CostModel) PredictAllGatherWireNs(n, elems int, wire tensor.Dtype) float64 {
+	if n <= 1 {
+		return 0
+	}
+	k := c.Ring
+	msgs := float64(n - 1)
+	vol := float64(n-1) * float64(wire.WireBytes(elems/n))
+	return msgs*k.AlphaNs + vol*k.BetaNsPerByte
+}
+
 // Skew term. On a heterogeneous fabric the equal schedules are bound by the
 // slowest rank RELAYING (nearly) the whole tensor, while the weighted
 // direct exchange (skewAllReduce) lets a slow rank serve only its

@@ -1,0 +1,36 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPredictShardHalvesComposeNearRing: the composed half-collectives carry
+// the pipelined ring's message count (2(n−1)) and byte volume, so their
+// predicted sum must sit within a few percent of the ring AllReduce — the
+// modeled form of the BENCH_collective composed-ratio gate.
+func TestPredictShardHalvesComposeNearRing(t *testing.T) {
+	c := DefaultCostModel()
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, elems := range []int{1 << 14, 1 << 18} {
+			composed := c.PredictReduceScatterNs(n, elems) + c.PredictAllGatherWireNs(n, elems, tensor.F64)
+			ring := c.PredictNs(AlgoRing, n, int64(elems)*8)
+			if ratio := composed / ring; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("n=%d elems=%d: composed/ring = %v", n, elems, ratio)
+			}
+		}
+	}
+}
+
+func TestPredictShardHalvesEdges(t *testing.T) {
+	c := DefaultCostModel()
+	if c.PredictReduceScatterNs(1, 1024) != 0 || c.PredictAllGatherWireNs(1, 1024, tensor.F64) != 0 {
+		t.Error("single-rank half-collectives should predict 0")
+	}
+	wide := c.PredictAllGatherWireNs(8, 1<<18, tensor.F64)
+	narrow := c.PredictAllGatherWireNs(8, 1<<18, tensor.F16)
+	if narrow >= wide {
+		t.Errorf("f16 gather predicted %v ≥ fp64 %v", narrow, wide)
+	}
+}

@@ -354,152 +354,14 @@ func (e *SkewEngine) replan() error {
 	return nil
 }
 
-// skewAllReduce executes the weighted direct exchange: one-hop
-// reduce-scatter into the chunk owners (ring-order fold), owner-side
-// average/quantize, one-hop allgather back out. offs is the agreed n+1
-// offset table; srcs is pooled scratch of at least n slots.
+// skewAllReduce executes the weighted direct exchange as the composition of
+// the two first-class halves (shard.go): one-hop reduce-scatter into the
+// chunk owners (ring-order fold, owner-side average), owner-side quantize,
+// one-hop allgather back out. offs is the agreed n+1 offset table; srcs is
+// pooled scratch of at least n slots.
 func skewAllReduce(m transport.Mesh, iter int64, v tensor.Vector, op ReduceOp, offs []int, wire tensor.Dtype, residual tensor.Vector, srcs [][]float64) error {
-	n := m.Size()
-	rank := m.Rank()
-	if err := checkSegTagSpace(n, 2); err != nil {
+	if err := reduceScatter(m, iter, v, op, offs, srcs); err != nil {
 		return err
 	}
-	if len(offs) != n+1 || offs[n] != len(v) {
-		return fmt.Errorf("collective: skew offsets cover %d of %d elements over %d ranks", offs[len(offs)-1], len(v), n)
-	}
-
-	// Phase 1 sends: each peer's chunk goes straight to its owner. All
-	// sends complete before any receive — the same pattern as the inline
-	// pairwise allgather; the TCP mesh's drain-assist protocol makes an
-	// overrunning send round drain inbound frames instead of deadlocking.
-	for d := 1; d < n; d++ {
-		to := (rank + d) % n
-		if offs[to+1] == offs[to] {
-			continue
-		}
-		if err := m.Send(to, transport.Message{
-			Type:    transport.MsgChunk,
-			Iter:    iter,
-			Chunk:   skewScatterTag(to),
-			Payload: v[offs[to]:offs[to+1]],
-		}); err != nil {
-			return fmt.Errorf("skew scatter send: %w", err)
-		}
-	}
-
-	// Phase 1 receives + fold: collect all contributions for the own
-	// chunk, then fold each element in the ring's exact order — see the
-	// bit-identity contract above.
-	own := v[offs[rank]:offs[rank+1]]
-	release := func(upto int) {
-		for d := 1; d < upto; d++ {
-			from := mod(rank-d, n)
-			if srcs[from] != nil {
-				transport.PutPayload(srcs[from])
-				srcs[from] = nil
-			}
-		}
-	}
-	if len(own) > 0 {
-		for d := 1; d < n; d++ {
-			from := mod(rank-d, n)
-			srcs[from] = nil
-			msg, err := m.Recv(from)
-			if err != nil {
-				release(d)
-				return fmt.Errorf("skew scatter recv: %w", err)
-			}
-			if cerr := checkMsg("skew", msg, transport.MsgChunk, iter, skewScatterTag(rank)); cerr != nil {
-				transport.PutPayload(msg.Payload)
-				release(d)
-				return cerr
-			}
-			if len(msg.Payload) != len(own) {
-				transport.PutPayload(msg.Payload)
-				release(d)
-				return fmt.Errorf("%w: skew chunk %d elems, want %d", ErrProtocol, len(msg.Payload), len(own))
-			}
-			srcs[from] = msg.Payload
-		}
-		// The pipelined ring folds element g as v_c + v_{c+1} + … + v_{c-1}
-		// (left-associative) where c is g's UNIFORM chunk index — the chunk
-		// rotates around the ring starting from rank c. A skewed partition
-		// may hand g to a different owner, so the fold start is looked up
-		// per uniform-chunk segment, not taken from the owning rank:
-		// that keeps every element bit-identical to RingAllReduce under
-		// ANY partition, which in turn makes re-planning invisible to the
-		// training trajectory.
-		srcs[rank] = own
-		total := len(v)
-		c, ce := -1, 0
-		for i := range own {
-			for g := offs[rank] + i; g >= ce; {
-				c++
-				_, ce, _ = tensor.ChunkBounds(total, n, c)
-			}
-			acc := srcs[c%n][i]
-			for d := 1; d < n; d++ {
-				acc += srcs[(c+d)%n][i]
-			}
-			own[i] = acc
-		}
-		srcs[rank] = nil
-		release(n)
-		if op == OpAverage {
-			// Owner-side scale, identical to the ring's fused average.
-			own.Scale(1 / float64(n))
-		}
-		if wire != tensor.F64 {
-			// Owner-side quantization: the values this rank keeps are
-			// exactly the values every peer decodes (re-encode is exact by
-			// idempotence), and the error-feedback residual is captured at
-			// the only point where exact fp64 values exist.
-			if residual != nil {
-				tensor.RoundTripEF(wire, own, residual[offs[rank]:offs[rank+1]])
-			} else {
-				tensor.RoundTrip(wire, own)
-			}
-		}
-	}
-
-	// Phase 2: allgather the completed chunks, one direct hop each.
-	if len(own) > 0 {
-		for d := 1; d < n; d++ {
-			to := (rank + d) % n
-			if err := m.Send(to, transport.Message{
-				Type:    transport.MsgChunk,
-				Iter:    iter,
-				Chunk:   skewGatherTag(n, rank),
-				Dtype:   wire,
-				Payload: own,
-			}); err != nil {
-				return fmt.Errorf("skew gather send: %w", err)
-			}
-		}
-	}
-	for d := 1; d < n; d++ {
-		from := mod(rank-d, n)
-		if offs[from+1] == offs[from] {
-			continue
-		}
-		msg, err := m.Recv(from)
-		if err != nil {
-			return fmt.Errorf("skew gather recv: %w", err)
-		}
-		if cerr := checkMsg("skew", msg, transport.MsgChunk, iter, skewGatherTag(n, from)); cerr != nil {
-			transport.PutPayload(msg.Payload)
-			return cerr
-		}
-		dst := v[offs[from]:offs[from+1]]
-		if len(msg.Payload) != len(dst) {
-			transport.PutPayload(msg.Payload)
-			return fmt.Errorf("%w: skew gather %d elems, want %d", ErrProtocol, len(msg.Payload), len(dst))
-		}
-		err = dst.CopyFrom(msg.Payload)
-		transport.PutPayload(msg.Payload)
-		if err != nil {
-			return fmt.Errorf("skew gather copy: %w", err)
-		}
-	}
-	return nil
+	return allGather(m, iter, v, offs, wire, residual)
 }

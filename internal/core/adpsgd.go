@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -63,7 +62,7 @@ func RunADPSGDWorker(mesh transport.Mesh, cfg TrainConfig) (*ADPSGDResult, error
 
 	st := &adpsgdState{params: tensor.New(dim)}
 	cfg.Model.Init(rng.New(cfg.Seed+7777), st.params)
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}

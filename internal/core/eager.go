@@ -74,7 +74,7 @@ func RunEagerWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainC
 	n := mesh.Size()
 	dim := cfg.Model.Dim()
 
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}

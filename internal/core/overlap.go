@@ -133,7 +133,7 @@ func runBSPOverlapped(mesh transport.Mesh, ctrl *controller.Controller, cfg Trai
 	if err != nil {
 		return nil, err
 	}
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +208,7 @@ func runRNAOverlapped(mesh transport.Mesh, ctrl *controller.Controller, cfg Trai
 	if err != nil {
 		return nil, err
 	}
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}

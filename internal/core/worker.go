@@ -57,6 +57,28 @@ type TrainConfig struct {
 	// gradient spans (0 = collective.DefaultFusionBytes). A threshold at
 	// least as large as the gradient collapses the plan to one bucket.
 	FusionBytes int
+	// Adam selects the Adam optimizer (standard β₁/β₂/ε) instead of
+	// momentum-SGD; LR and WeightDecay apply, Momentum is ignored.
+	Adam bool
+	// ShardedUpdate enables the owner-computes update path: reduce-scatter
+	// (always exact fp64) → owned-shard optimizer step → parameter
+	// allgather at the Compression wire dtype. Optimizer state and update
+	// compute shrink from full-vector-per-rank to one owned span per rank,
+	// and the result is bit-identical to the replicated path under uniform
+	// partitions (ring fold order, owner-side scale, one quantization per
+	// shard). With a lossy wire the owner keeps master weights: the
+	// error-feedback residual holds exact-minus-quantized for the owned
+	// span, restored before each step. Incompatible with Overlap.
+	ShardedUpdate bool
+	// ShardWeights optionally skews the ownership spans (len = mesh size;
+	// nil = uniform): spans follow tensor.WeightedSizes, so slow ranks can
+	// own proportionally smaller shards. Requires ShardedUpdate.
+	ShardWeights []float64
+	// Algorithm pins the dense collective schedule of the replicated path
+	// (zero = AlgoAuto). The sharded path always runs the direct exchange;
+	// pinning AlgoRing on the replicated side makes the two paths
+	// bit-comparable at any vector size.
+	Algorithm collective.Algorithm
 }
 
 func (c *TrainConfig) validate() error {
@@ -72,7 +94,22 @@ func (c *TrainConfig) validate() error {
 	if !c.Compression.Valid() {
 		return fmt.Errorf("core: unknown compression dtype %d", c.Compression)
 	}
+	if c.ShardedUpdate && c.Overlap {
+		return fmt.Errorf("core: sharded update does not compose with the overlap reducer")
+	}
+	if c.ShardWeights != nil && !c.ShardedUpdate {
+		return fmt.Errorf("core: shard weights without sharded update")
+	}
 	return nil
+}
+
+// newOptimizer builds the configured update rule over dim parameters (a
+// full vector for the replicated path, one owned span for the sharded one).
+func (c *TrainConfig) newOptimizer(dim int) (opt.Optimizer, error) {
+	if c.Adam {
+		return opt.NewAdam(dim, c.LR, c.WeightDecay)
+	}
+	return opt.NewSGD(dim, c.LR, c.Momentum, c.WeightDecay)
 }
 
 // residual allocates the error-feedback buffer for lossy wires; nil
@@ -106,6 +143,10 @@ type Result struct {
 	// MaxInFlight is the peak number of concurrently in-flight bucket
 	// collectives the overlap reducer reached (0 when Overlap is off).
 	MaxInFlight int
+	// OptStateBytes is this rank's persistent optimizer-state footprint —
+	// full-vector for the replicated path, one owned span under
+	// ShardedUpdate (the N× memory reduction the benchmarks record).
+	OptStateBytes int64
 }
 
 // RunRNAWorker trains with the RNA protocol: a compute thread produces
@@ -132,6 +173,9 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 	if cfg.Overlap {
 		return runRNAOverlapped(mesh, ctrl, cfg, post)
 	}
+	if cfg.ShardedUpdate {
+		return runRNASharded(mesh, ctrl, cfg, post)
+	}
 	start := time.Now()
 	rank := mesh.Rank()
 	n := mesh.Size()
@@ -141,7 +185,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 	if err != nil {
 		return nil, err
 	}
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +295,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 				res.NullContribs++
 			}
 			pr, err := collective.PartialAllReduceOpts(mesh, k, in, ok, collective.Options{
-				Compression: cfg.Compression, Residual: residual,
+				Algorithm: cfg.Algorithm, Compression: cfg.Compression, Residual: residual,
 			})
 			if err != nil {
 				commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
@@ -305,6 +349,7 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 		return nil, commErr
 	}
 	res.Params = params
+	res.OptStateBytes = optim.StateBytes()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -320,12 +365,15 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 	if cfg.Overlap {
 		return runBSPOverlapped(mesh, ctrl, cfg)
 	}
+	if cfg.ShardedUpdate {
+		return runBSPSharded(mesh, ctrl, cfg)
+	}
 	start := time.Now()
 	rank := mesh.Rank()
 	n := mesh.Size()
 	dim := cfg.Model.Dim()
 
-	optim, err := opt.NewSGD(dim, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	optim, err := cfg.newOptimizer(dim)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +410,7 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 			residual.Zero()
 		}
 		if err := collective.AllReduceOpts(mesh, k, grad, collective.OpAverage, collective.Options{
-			Compression: cfg.Compression, Residual: residual,
+			Algorithm: cfg.Algorithm, Compression: cfg.Compression, Residual: residual,
 		}); err != nil {
 			return nil, fmt.Errorf("rank %d iter %d: %w", rank, k, err)
 		}
@@ -375,6 +423,7 @@ func RunBSPWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 		}
 	}
 	res.Params = params
+	res.OptStateBytes = optim.StateBytes()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

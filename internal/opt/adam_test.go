@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randVec(rng *rand.Rand, dim int) tensor.Vector {
+	v := tensor.New(dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestNewAdamValidation(t *testing.T) {
+	if _, err := NewAdam(0, 0.1, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewAdam(4, 0, 0); err == nil {
+		t.Error("lr 0 accepted")
+	}
+	if _, err := NewAdam(4, 0.1, -1); err == nil {
+		t.Error("negative weight decay accepted")
+	}
+	o, err := NewAdam(4, 0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Beta1 != AdamBeta1 || o.Beta2 != AdamBeta2 || o.Eps != AdamEps {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	if o.StateBytes() != 4*16 {
+		t.Errorf("StateBytes = %d, want 64", o.StateBytes())
+	}
+}
+
+func TestAdamStepMatchesScalarReference(t *testing.T) {
+	const dim = 9
+	rng := rand.New(rand.NewSource(5))
+	o, err := NewAdam(dim, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := randVec(rng, dim)
+	refP := append(tensor.Vector(nil), params...)
+	refM := tensor.New(dim)
+	refU := tensor.New(dim)
+	for step := 1; step <= 5; step++ {
+		grad := randVec(rng, dim)
+		if _, err := o.Step(params, grad, 1); err != nil {
+			t.Fatal(err)
+		}
+		bc1 := 1 / (1 - math.Pow(AdamBeta1, float64(step)))
+		bc2 := 1 / (1 - math.Pow(AdamBeta2, float64(step)))
+		for i := range refP {
+			g := grad[i] + 0.01*refP[i]
+			refM[i] = AdamBeta1*refM[i] + (1-AdamBeta1)*g
+			refU[i] = AdamBeta2*refU[i] + (1-AdamBeta2)*g*g
+			refP[i] -= 0.05 * (refM[i] * bc1) / (math.Sqrt(refU[i]*bc2) + AdamEps)
+		}
+		for i := range refP {
+			if math.Abs(params[i]-refP[i]) > 1e-12 {
+				t.Fatalf("step %d elem %d: fused %v vs reference %v", step, i, params[i], refP[i])
+			}
+		}
+	}
+	if o.StepCount() != 5 {
+		t.Errorf("StepCount = %d", o.StepCount())
+	}
+}
+
+func TestAdamZeroScaleAdvancesClock(t *testing.T) {
+	o, err := NewAdam(4, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Schedule = StepDecay{Boundaries: []int{1}, Decay: 0.1}
+	params := tensor.New(4)
+	grad := tensor.Vector{1, 1, 1, 1}
+	before := append(tensor.Vector(nil), params...)
+	if lr, err := o.Step(params, grad, 0); err != nil || lr != 0 {
+		t.Fatalf("lr=%v err=%v", lr, err)
+	}
+	for i := range params {
+		if params[i] != before[i] {
+			t.Fatal("zero-scale step mutated params")
+		}
+	}
+	if o.StepCount() != 1 {
+		t.Errorf("StepCount = %d", o.StepCount())
+	}
+	lr, err := o.Step(params, grad, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lr-0.01) > 1e-15 {
+		t.Errorf("schedule clock not advanced by skipped step: lr = %v", lr)
+	}
+	o.Reset()
+	if o.StepCount() != 0 {
+		t.Error("Reset did not clear step count")
+	}
+}
+
+// newShardedOpt builds a full-vector optimizer and matching span optimizers
+// via the given constructor.
+func shardSpanEquality(t *testing.T, name string, mk func(dim int) Optimizer, state func(o Optimizer) []tensor.Vector) {
+	t.Helper()
+	const dim = 103
+	offs := []int{0, 31, 31, 70, dim} // includes an empty span
+	rng := rand.New(rand.NewSource(17))
+	full := mk(dim)
+	params := randVec(rng, dim)
+	shardParams := append(tensor.Vector(nil), params...)
+	shards := make([]Optimizer, 0, len(offs)-1)
+	for r := 0; r+1 < len(offs); r++ {
+		if offs[r+1] == offs[r] {
+			shards = append(shards, nil)
+			continue
+		}
+		shards = append(shards, mk(offs[r+1]-offs[r]))
+	}
+	for step := 0; step < 7; step++ {
+		grad := randVec(rng, dim)
+		scale := 1.0
+		if step == 3 {
+			scale = 0.5 // Linear Scaling Rule round
+		}
+		if _, err := full.Step(params, grad, scale); err != nil {
+			t.Fatal(err)
+		}
+		for r, o := range shards {
+			if o == nil {
+				continue
+			}
+			lo, hi := offs[r], offs[r+1]
+			if _, err := o.Step(shardParams[lo:hi], grad[lo:hi], scale); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range params {
+		if math.Float64bits(params[i]) != math.Float64bits(shardParams[i]) {
+			t.Fatalf("%s: param %d diverged: %x vs %x", name, i, params[i], shardParams[i])
+		}
+	}
+	fullState := state(full)
+	for r, o := range shards {
+		if o == nil {
+			continue
+		}
+		lo, hi := offs[r], offs[r+1]
+		for si, sv := range state(o) {
+			fv := fullState[si][lo:hi]
+			for i := range sv {
+				if math.Float64bits(sv[i]) != math.Float64bits(fv[i]) {
+					t.Fatalf("%s: shard %d state vector %d elem %d diverged", name, r, si, i)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedStateMatchesReplicatedSlice is the owner-computes contract at
+// the optimizer level: an optimizer constructed over a span, fed the span of
+// every gradient, holds bit-identical params AND state to the matching slice
+// of a full-vector optimizer — for momentum-SGD and Adam.
+func TestShardedStateMatchesReplicatedSlice(t *testing.T) {
+	shardSpanEquality(t, "sgd",
+		func(dim int) Optimizer {
+			o, err := NewSGD(dim, 0.1, 0.9, 0.001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		},
+		func(o Optimizer) []tensor.Vector { return []tensor.Vector{o.(*SGD).Velocity()} })
+	shardSpanEquality(t, "adam",
+		func(dim int) Optimizer {
+			o, err := NewAdam(dim, 0.01, 0.001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		},
+		func(o Optimizer) []tensor.Vector {
+			m, u := o.(*Adam).Moments()
+			return []tensor.Vector{m, u}
+		})
+}
+
+func TestStateBytesSharding(t *testing.T) {
+	sgd, err := NewSGD(1024, 0.1, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgd.StateBytes() != 1024*8 {
+		t.Errorf("SGD StateBytes = %d", sgd.StateBytes())
+	}
+	adam, err := NewAdam(1024, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adam.StateBytes() != 1024*16 {
+		t.Errorf("Adam StateBytes = %d", adam.StateBytes())
+	}
+	shard, err := NewAdam(128, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adam.StateBytes() != 8*shard.StateBytes() {
+		t.Errorf("sharding 8 ways should cut state 8x: %d vs %d", adam.StateBytes(), shard.StateBytes())
+	}
+}

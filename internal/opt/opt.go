@@ -11,6 +11,26 @@ import (
 	"repro/internal/tensor"
 )
 
+// Optimizer is the stateful update rule shared by SGD and Adam. All
+// implementations are strictly element-wise with state that depends only on
+// the step count, which is what makes owner-computes sharding exact: an
+// optimizer constructed over a span of the parameter vector, fed the
+// matching span of every gradient, holds bit-identical state to the same
+// span of a full-vector optimizer on the same schedule.
+type Optimizer interface {
+	// Step applies one update with gradient grad and the given Linear
+	// Scaling factor, returning the effective learning rate used. scale==0
+	// is a no-op that still advances the schedule clock.
+	Step(params, grad tensor.Vector, scale float64) (float64, error)
+	// StepCount returns the number of Step calls so far.
+	StepCount() int
+	// Reset zeroes the optimizer state and step counter.
+	Reset()
+	// StateBytes reports the persistent optimizer-state footprint — the
+	// memory a sharded deployment divides by the rank count.
+	StateBytes() int64
+}
+
 // SGD is stochastic gradient descent with momentum and weight decay:
 //
 //	v ← μ·v + g + λ·x
@@ -114,6 +134,16 @@ func (o *SGD) Reset() {
 	o.velocity.Zero()
 	o.step = 0
 }
+
+// StateBytes implements Optimizer: one fp64 velocity vector.
+func (o *SGD) StateBytes() int64 { return int64(len(o.velocity)) * 8 }
+
+// Velocity exposes a read-only view of the momentum vector (the sharded
+// bit-identity tests compare an owned span's state against the matching
+// slice of a replicated optimizer).
+func (o *SGD) Velocity() tensor.Vector { return o.velocity }
+
+var _ Optimizer = (*SGD)(nil)
 
 // Schedule scales the learning rate as training progresses.
 type Schedule interface {

@@ -110,7 +110,9 @@ func runBSP(cfg Config) (*Result, error) {
 		// The compute window all workers share (barrier at fire): with
 		// overlap the bucket collectives launch inside it and only the
 		// tail is charged; sequential pricing (1 bucket) is unchanged.
-		commCost := cfg.commTail(cfg.Workers, cfg.Spec.GradientBytes(), fire-now, 0)
+		// updateTail adds the optimizer term — and under ShardedUpdate
+		// decomposes the round into RS → owned-shard step → AG.
+		commCost := cfg.updateTail(cfg.Workers, cfg.Spec.GradientBytes(), fire-now, 0)
 		syncEnd := fire + commCost
 		for w := 0; w < cfg.Workers; w++ {
 			res.Breakdowns[w].Wait += fire - ready[w]

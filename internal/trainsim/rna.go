@@ -493,7 +493,7 @@ func (s *partialSim) nextRound() (roundOutcome, error) {
 	// runs). With overlap the bucket collectives launch across the window
 	// computation raced until the trigger (tNow → fire) and only the tail
 	// is charged; sequential pricing (1 bucket) is unchanged.
-	commCost := s.cfg.commTail(s.n, s.cfg.Spec.GradientBytes(), fire-tNow, 8)
+	commCost := s.cfg.updateTail(s.n, s.cfg.Spec.GradientBytes(), fire-tNow, 8)
 	if s.payCopy && !s.cfg.DirectGPU {
 		oh := s.cfg.Comm.RNACopyOverhead(s.cfg.Spec.GradientBytes())
 		if s.cfg.LayerOverlap {

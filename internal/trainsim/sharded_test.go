@@ -1,0 +1,130 @@
+package trainsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// shardedSpec keeps the payload an exact multiple of the worker counts the
+// tests use, so the ring's bytes/n chunk and the half-collectives' elems/n
+// chunk coincide and the composition invariant holds to the nanosecond.
+func shardedSpec() workload.ModelSpec {
+	return workload.ModelSpec{Params: 1 << 18, BytesPerParam: 8, Layers: 16}
+}
+
+func TestShardedUpdateValidation(t *testing.T) {
+	cfg := testConfig(t, Horovod, 4, 5)
+	cfg.ShardedUpdate = true
+	cfg.TopK = 100
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded + top-k accepted")
+	}
+	cfg.TopK = 0
+	cfg.OverlapBuckets = 4
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded + overlap buckets accepted")
+	}
+	cfg.OverlapBuckets = 0
+	cfg.Strategy = ADPSGD
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded AD-PSGD accepted")
+	}
+	cfg = testConfig(t, Horovod, 4, 5)
+	cfg.OptNsPerElem = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative optimizer cost accepted")
+	}
+}
+
+// TestShardedFreeUpdateCostsLikeRing: with the optimizer priced free (the
+// historical default) the sharded round costs exactly the replicated ring
+// round — RS + AG compose to the ring — so flipping ShardedUpdate does not
+// silently change existing virtual-time results.
+func TestShardedFreeUpdateCostsLikeRing(t *testing.T) {
+	for _, strategy := range []Strategy{Horovod, RNA} {
+		cfg := testConfig(t, strategy, 4, 20)
+		cfg.Spec = shardedSpec()
+		repl, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ShardedUpdate = true
+		shard, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strategy == Horovod {
+			if shard.VirtualTime != repl.VirtualTime {
+				t.Errorf("%v: sharded %v != replicated %v with free updates",
+					strategy, shard.VirtualTime, repl.VirtualTime)
+			}
+		} else if shard.VirtualTime > repl.VirtualTime {
+			// RNA's flag element perturbs the chunking by one element; the
+			// sharded price must never exceed the fused ring's.
+			t.Errorf("%v: sharded %v > replicated %v", strategy, shard.VirtualTime, repl.VirtualTime)
+		}
+	}
+}
+
+// TestShardedUpdateCheaperWhenOptimizerPriced: once the optimizer step has a
+// cost, owner-computes wins — each rank steps dim/n elements instead of dim.
+func TestShardedUpdateCheaperWhenOptimizerPriced(t *testing.T) {
+	cfg := testConfig(t, Horovod, 8, 20)
+	cfg.Spec = shardedSpec()
+	cfg.OptNsPerElem = 50 // expensive enough to dominate the round
+	repl, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShardedUpdate = true
+	shard, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.VirtualTime >= repl.VirtualTime {
+		t.Fatalf("sharded %v not cheaper than replicated %v", shard.VirtualTime, repl.VirtualTime)
+	}
+}
+
+// TestShardedSkewOwnership: on an uneven fleet the owned spans shrink for
+// slow ranks (∝ 1/SpeedFactor), so the sharded update term is paced below
+// slowest-rank × uniform-span.
+func TestShardedSkewOwnership(t *testing.T) {
+	cfg := testConfig(t, Horovod, 4, 1)
+	cfg.Spec = shardedSpec()
+	cfg.ShardedUpdate = true
+	cfg.OptNsPerElem = 50
+	cfg.SpeedFactors = []float64{1, 1, 1, 3}
+	elems := int(cfg.Spec.GradientBytes() / 8)
+	spans := cfg.shardSpanElems(4, elems)
+	if spans[3] >= spans[0] {
+		t.Fatalf("slow rank owns %d ≥ fast rank's %d", spans[3], spans[0])
+	}
+	var worst time.Duration
+	for w, span := range spans {
+		if d := cfg.optStepCost(w, span); d > worst {
+			worst = d
+		}
+	}
+	uniformWorst := cfg.optStepCost(3, elems/4) // slowest rank, uniform span
+	if worst >= uniformWorst {
+		t.Errorf("skew-aware spans pace at %v, uniform would pace at %v", worst, uniformWorst)
+	}
+}
+
+// TestShardedCompressedGather: a narrow parameter allgather shrinks the
+// sharded round against the exact-fp64 one.
+func TestShardedCompressedGather(t *testing.T) {
+	cfg := testConfig(t, Horovod, 8, 1)
+	cfg.Spec = shardedSpec()
+	cfg.ShardedUpdate = true
+	exact := cfg.updateTail(8, cfg.Spec.GradientBytes(), 0, 0)
+	cfg.Compression = tensor.F16
+	narrow := cfg.updateTail(8, cfg.Spec.GradientBytes(), 0, 0)
+	if narrow >= exact {
+		t.Errorf("f16 gather %v not cheaper than fp64 %v", narrow, exact)
+	}
+}

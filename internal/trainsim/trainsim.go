@@ -170,6 +170,21 @@ type Config struct {
 	// one whole-gradient collective charged in full after compute —
 	// bit-identical to earlier versions.
 	OverlapBuckets int
+	// ShardedUpdate prices the owner-computes sharded update path
+	// (internal/core's ShardedUpdate mode): the fused AllReduce decomposes
+	// into an exact-fp64 ReduceScatter, an owned-shard optimizer step
+	// (spans proportional to 1/SpeedFactor when the fleet is uneven, so
+	// slower ranks own smaller spans), and a parameter AllGather shipping
+	// the Compression wire dtype. Only the dense Horovod and RNA
+	// strategies qualify, and the path excludes TopK and OverlapBuckets —
+	// mirroring what the runtime collective accepts.
+	ShardedUpdate bool
+	// OptNsPerElem prices the optimizer update at this many nanoseconds
+	// per parameter element (scaled by the rank's SpeedFactor). Zero — the
+	// default — keeps updates free, the historical pricing under which
+	// sharded and replicated rounds cost the same; setting it exposes the
+	// N× update-compute reduction the sharded path buys.
+	OptNsPerElem float64
 	// PSSyncEvery is the hierarchical scheme's PS exchange period in
 	// group synchronizations (default 4; the paper leaves frequency
 	// tuning as future work).
@@ -223,6 +238,20 @@ func (c *Config) validate() error {
 	}
 	if c.TopK > 0 && c.Compression != tensor.F64 {
 		return fmt.Errorf("trainsim: top-k sparsification cannot combine with lossy compression %v", c.Compression)
+	}
+	if c.OptNsPerElem < 0 {
+		return fmt.Errorf("trainsim: negative optimizer cost %v", c.OptNsPerElem)
+	}
+	if c.ShardedUpdate {
+		if c.TopK > 0 {
+			return fmt.Errorf("trainsim: sharded update cannot combine with top-k sparsification")
+		}
+		if c.OverlapBuckets > 1 {
+			return fmt.Errorf("trainsim: sharded update cannot combine with overlap buckets")
+		}
+		if c.Strategy != Horovod && c.Strategy != RNA {
+			return fmt.Errorf("trainsim: sharded update requires Horovod or RNA, got %v", c.Strategy)
+		}
 	}
 	return nil
 }
@@ -360,6 +389,75 @@ func (c *Config) commTail(n int, bytes int64, compute time.Duration, extraPerBuc
 		comms[i] = c.allReduceCost(n, sz+extraPerBucket)
 	}
 	return workload.OverlappedTail(compute, comms)
+}
+
+// optStepCost prices one optimizer step over elems parameter elements on
+// worker w: OptNsPerElem per element, scaled by the worker's compute speed
+// factor. Zero OptNsPerElem keeps updates free.
+func (c *Config) optStepCost(w, elems int) time.Duration {
+	if c.OptNsPerElem <= 0 || elems <= 0 {
+		return 0
+	}
+	return time.Duration(float64(elems) * c.OptNsPerElem * c.speedFactor(w))
+}
+
+// shardSpanElems returns each rank's owned-span size for the sharded
+// update's pricing: uniform shares on an even fleet, shares proportional to
+// 1/SpeedFactor on an uneven one (a slower rank owns a smaller span — the
+// skew-aware ownership core.TrainConfig.ShardWeights expresses).
+func (c *Config) shardSpanElems(n, elems int) []int {
+	spans := make([]int, n)
+	var sum float64
+	inv := make([]float64, n)
+	for w := 0; w < n; w++ {
+		inv[w] = 1 / c.speedFactor(w)
+		sum += inv[w]
+	}
+	for w := 0; w < n; w++ {
+		spans[w] = int(float64(elems) * inv[w] / sum)
+	}
+	return spans
+}
+
+// updateTail prices one synchronization's full post-compute cost: the
+// collective plus the optimizer update.
+//
+// Replicated (the default): commTail — the overlap-aware AllReduce — plus
+// one full-vector optimizer step per rank, redundantly; the slowest rank's
+// step paces the round.
+//
+// ShardedUpdate: an exact-fp64 ReduceScatter, the owned-shard optimizer
+// step (the round waits for the slowest owner), and a parameter AllGather
+// shipping the Compression wire dtype, strictly sequential — the owned step
+// gates the gather. Both half-collectives are paced by the slowest link,
+// like every equal-share schedule. Σ spans = dim, so with OptNsPerElem set
+// the update term shrinks ~N× against the replicated path while
+// ReduceScatter + AllGatherWire together move exactly the ring AllReduce's
+// bytes (see workload.CommModel.ReduceScatter).
+func (c *Config) updateTail(n int, bytes int64, compute time.Duration, extraPerBucket int64) time.Duration {
+	elems := int(bytes / 8)
+	if !c.ShardedUpdate {
+		tail := c.commTail(n, bytes, compute, extraPerBucket)
+		var worst time.Duration
+		for w := 0; w < n; w++ {
+			if t := c.optStepCost(w, elems); t > worst {
+				worst = t
+			}
+		}
+		return tail + worst
+	}
+	// extraPerBucket (RNA's contributor-count flag) rides the scatter once.
+	scatterElems := elems + int(extraPerBucket/8)
+	_, min := c.linkWeights(n)
+	rs := time.Duration(float64(c.Comm.ReduceScatter(n, scatterElems)) / min)
+	ag := time.Duration(float64(c.Comm.AllGatherWire(n, elems, c.Compression)) / min)
+	var worst time.Duration
+	for w, span := range c.shardSpanElems(n, elems) {
+		if t := c.optStepCost(w, span); t > worst {
+			worst = t
+		}
+	}
+	return rs + worst + ag
 }
 
 func (c *Config) injector() hetero.Injector {

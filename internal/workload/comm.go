@@ -269,6 +269,30 @@ func (c CommModel) AllReduceWire(algo AllReduceAlgo, n int, elems int, wire tens
 	}
 }
 
+// ReduceScatter prices the reduction half of the sharded owner-computes
+// update: n−1 serialized direct messages, each carrying this rank's fp64
+// share of one uniform chunk (elems/n elements). By construction
+// ReduceScatter + AllGatherWire == RingAllReduceWire exactly — decomposing
+// the ring into its two halves moves no extra bytes, so a simulation that
+// swaps a fused AllReduce for the sharded pair pays only the owned-shard
+// optimizer time on top.
+func (c CommModel) ReduceScatter(n int, elems int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * c.transfer(8*int64(elems/n))
+}
+
+// AllGatherWire prices the parameter-distribution half of the sharded
+// update: n−1 serialized direct messages, each carrying one wire-encoded
+// uniform chunk. See ReduceScatter for the composition invariant.
+func (c CommModel) AllGatherWire(n int, elems int, wire tensor.Dtype) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * c.transfer(int64(wire.WireBytes(elems/n)))
+}
+
 // TopKAllReduce prices the sparse index+value exchange of
 // collective.TopKAllReduce: a binomial tree reduces each rank's top-k
 // entries to a root, then a binomial broadcast ships the merged union

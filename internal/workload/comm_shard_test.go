@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestShardHalvesComposeToRing is the sharded pricing invariant: decomposing
+// the ring AllReduce into its reduce-scatter and allgather halves moves
+// exactly the same bytes behind the same message count, for the exact and
+// the compressed wire.
+func TestShardHalvesComposeToRing(t *testing.T) {
+	c := DefaultComm()
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		for _, elems := range []int{n, 1 << 10, 1 << 18} {
+			for _, wire := range []tensor.Dtype{tensor.F64, tensor.F16, tensor.I8} {
+				rs := c.ReduceScatter(n, elems)
+				ag := c.AllGatherWire(n, elems, wire)
+				ring := c.RingAllReduceWire(n, elems, wire)
+				if rs+ag != ring {
+					t.Errorf("n=%d elems=%d wire=%v: RS %v + AG %v != ring %v",
+						n, elems, wire, rs, ag, ring)
+				}
+			}
+		}
+	}
+}
+
+func TestShardHalvesSingleWorkerFree(t *testing.T) {
+	c := DefaultComm()
+	if c.ReduceScatter(1, 1024) != 0 || c.AllGatherWire(1, 1024, tensor.F64) != 0 {
+		t.Error("single-rank half-collectives should be free")
+	}
+}
