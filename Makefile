@@ -31,7 +31,8 @@ bench-smoke:
 
 # fuzz-smoke runs each wire-protocol fuzz target for a short budget — enough
 # to cover the seeded v1 corpus (header truncations, forged fields, hello
-# garbage) plus a burst of mutations, quick enough for CI.
+# garbage, parameter-server push/pull/ack frames with packed mode<<24|chunk
+# tags) plus a burst of mutations, quick enough for CI.
 fuzz-smoke:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadMessage -fuzztime 20s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadHello -fuzztime 10s

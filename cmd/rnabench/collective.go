@@ -186,6 +186,16 @@ type collectiveBenchReport struct {
 	// <= 1.1 — first-classing the halves must not give up more than 10%.
 	Sharded                  []collectiveBenchCase `json:"sharded"`
 	GateShardedComposedRatio float64               `json:"gate_sharded_composed_ratio"`
+	// PS is the parameter-server sweep (see psbench.go): aggregate
+	// concurrent push-pull throughput by group count for the in-process
+	// snapshot store (with the seed single-lock store as the baseline
+	// column) and for the networked TCP PS service at f64/f16 wires.
+	// GatePSSpeedup is the 8-group in-memory throughput over the seed
+	// store's (bar >= 2.0); GatePSBitwise records that an ordered chunked
+	// f64 exchange sequence over TCP bitwise-matched the loopback store.
+	PS            []psRow `json:"ps"`
+	GatePSSpeedup float64 `json:"gate_ps_speedup_8group"`
+	GatePSBitwise bool    `json:"gate_ps_tcp_bitwise"`
 }
 
 // seedBaseline is the seed implementation measured with the identical
@@ -798,6 +808,9 @@ func runCollectiveBench(outPath, calibrationPath string) error {
 		return err
 	}
 	if err := runShardSweep(&rep); err != nil {
+		return err
+	}
+	if err := runPSSweep(&rep); err != nil {
 		return err
 	}
 	for _, cur := range rep.Current {

@@ -8,6 +8,7 @@
 //	rnabench -calibrate [-calibration CALIBRATION_collective.json]
 //	rnabench -collective [-collective-out BENCH_collective.json] [-calibration CALIBRATION_collective.json]
 //	rnabench -train [-train-out BENCH_train.json]
+//	rnabench -ps [-collective-out BENCH_collective.json]
 package main
 
 import (
@@ -48,6 +49,8 @@ func run(args []string) error {
 		trainBench = fs.Bool("train", false, "run the training-engine benchmarks and write BENCH_train.json")
 		trainOut   = fs.String("train-out", "BENCH_train.json", "output path for -train")
 
+		psBench = fs.Bool("ps", false, "run only the parameter-server sweep (push-pull throughput vs group count, in-memory + TCP, f64 + f16 wires) and merge its rows into -collective-out")
+
 		benchSmoke = fs.Bool("bench-smoke", false, "run a tiny end-to-end overlap benchmark (real workers over TCP, bit-identity asserted) without writing any JSON; CI wiring check")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +64,9 @@ func run(args []string) error {
 	}
 	if *trainBench {
 		return runTrainBench(*trainOut)
+	}
+	if *psBench {
+		return runPSBench(*collectiveOut)
 	}
 	if *benchSmoke {
 		return runBenchSmoke()

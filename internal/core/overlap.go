@@ -373,13 +373,6 @@ func runRNAOverlapped(mesh transport.Mesh, ctrl *controller.Controller, cfg Trai
 					fail(k, err)
 					return
 				}
-				synced = k
-				cond.Broadcast()
-				mu.Unlock()
-			} else {
-				mu.Lock()
-				synced = k
-				cond.Broadcast()
 				mu.Unlock()
 			}
 			for i := range plan {
@@ -393,6 +386,13 @@ func runRNAOverlapped(mesh transport.Mesh, ctrl *controller.Controller, cfg Trai
 					return
 				}
 			}
+			// Publish the completed synchronization only after the post
+			// hook, so compute snapshots at k+1 deterministically include
+			// the hook's parameter mutation (see runRNAWorker).
+			mu.Lock()
+			synced = k
+			cond.Broadcast()
+			mu.Unlock()
 			if rank == 0 {
 				ctrl.Forget(k - int64(cfg.bound()) - 2)
 			}

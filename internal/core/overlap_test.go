@@ -28,10 +28,10 @@ func mlpConfig(t *testing.T, features, hidden, iters int) TrainConfig {
 		t.Fatal(err)
 	}
 	return TrainConfig{
-		Model:          m,
-		Batch:          func(s *rng.Source) []int { return ds.Batch(s, 12) },
-		LR:             0.1,
-		Momentum:       0.9,
+		Model:      m,
+		Batch:      func(s *rng.Source) []int { return ds.Batch(s, 12) },
+		LR:         0.1,
+		Momentum:   0.9,
 		Iterations: iters,
 		// Bound 1 + AllReady firing pins the compute thread's snapshot to
 		// exactly the post-round-(k-1) parameters, making the RNA trajectory

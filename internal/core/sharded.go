@@ -300,18 +300,11 @@ func runRNASharded(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCo
 					abort()
 					return
 				}
-				synced = k
-				cond.Broadcast()
-				mu.Unlock()
-			} else {
-				// All ranks computed the identical zero count: skip the
-				// update AND the gather in lockstep, like the replicated
-				// path skips its step.
-				mu.Lock()
-				synced = k
-				cond.Broadcast()
 				mu.Unlock()
 			}
+			// (When every rank computed the identical zero count, the
+			// update AND the gather are skipped in lockstep, like the
+			// replicated path skips its step.)
 			if post != nil {
 				if err := post(k, &mu, params); err != nil {
 					commErr = fmt.Errorf("rank %d iter %d: %w", rank, k, err)
@@ -319,6 +312,13 @@ func runRNASharded(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCo
 					return
 				}
 			}
+			// Publish the completed synchronization only after the post
+			// hook, so compute snapshots at k+1 deterministically include
+			// the hook's parameter mutation (see runRNAWorker).
+			mu.Lock()
+			synced = k
+			cond.Broadcast()
+			mu.Unlock()
 			if rank == 0 {
 				ctrl.Forget(k - int64(cfg.bound()) - 2)
 			}

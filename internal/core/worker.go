@@ -318,13 +318,6 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 					abort()
 					return
 				}
-				synced = k
-				cond.Broadcast()
-				mu.Unlock()
-			} else {
-				mu.Lock()
-				synced = k
-				cond.Broadcast()
 				mu.Unlock()
 			}
 			pr.Release()
@@ -335,6 +328,15 @@ func runRNAWorker(mesh transport.Mesh, ctrl *controller.Controller, cfg TrainCon
 					return
 				}
 			}
+			// Publish the completed synchronization only after the post
+			// hook: compute snapshots taken at k+1 then deterministically
+			// include the hook's parameter mutation (the PS broadcast),
+			// which is what keeps ordered hierarchical runs bitwise
+			// reproducible.
+			mu.Lock()
+			synced = k
+			cond.Broadcast()
+			mu.Unlock()
 			if rank == 0 {
 				ctrl.Forget(k - int64(cfg.bound()) - 2)
 			}

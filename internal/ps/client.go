@@ -1,0 +1,257 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// DefaultWindow is the default request-pipelining window: how many chunk
+// requests a client keeps in flight before consuming acks. The window is
+// what overlaps the first returned chunks with later pushes.
+const DefaultWindow = 4
+
+// GlobalStore is the vector-level view of the global model a hierarchical
+// group leader exchanges with: the in-process Store behind Loopback (the
+// fast path) or a networked Client — interchangeable, and bit-identical
+// where the wire dtype is f64.
+type GlobalStore interface {
+	// PushPull applies value under mode and returns the resulting global
+	// model and its version. A positive minVersion delays the exchange
+	// until the model's version reaches it (see Store.PushPullMin).
+	PushPull(value tensor.Vector, mode UpdateMode, minVersion int64) (tensor.Vector, int64, error)
+}
+
+// Loopback returns the in-process GlobalStore over store's key — the fast
+// path when the parameter server shares the trainer's process. It performs
+// the whole-vector operation directly; because the networked client's
+// chunked updates touch disjoint spans element-wise, the two produce
+// bit-identical results at f64.
+func Loopback(store *Store, key string) GlobalStore {
+	return &loopback{store: store, key: key}
+}
+
+type loopback struct {
+	store *Store
+	key   string
+}
+
+func (l *loopback) PushPull(value tensor.Vector, mode UpdateMode, minVersion int64) (tensor.Vector, int64, error) {
+	return l.store.PushPullMin(l.key, value, mode, minVersion)
+}
+
+// ClientConfig configures a networked parameter-server client. Key, Dim
+// and Chunks must match the servers' configuration.
+type ClientConfig struct {
+	// Servers are the PS ranks. Chunk c is owned by Servers[c % len],
+	// so concurrent groups spread their chunk traffic across every
+	// server rank.
+	Servers []int
+	// Key is the logical model key.
+	Key string
+	// Dim is the model dimension.
+	Dim int
+	// Chunks is the chunk-shard count (default DefaultChunks, clamped as
+	// on the server).
+	Chunks int
+	// Wire selects the request/reply wire dtype. Lossy dtypes enable
+	// error feedback on both sides: the client keeps the push residual,
+	// the serving rank keeps the pull residual (owner-side).
+	Wire tensor.Dtype
+	// Window bounds in-flight chunk requests (default DefaultWindow).
+	Window int
+}
+
+func (c *ClientConfig) chunkCount() int {
+	return (&ServerConfig{Dim: c.Dim, Chunks: c.Chunks}).chunkCount()
+}
+
+func (c *ClientConfig) window() int {
+	if c.Window < 1 {
+		return DefaultWindow
+	}
+	return c.Window
+}
+
+// Client speaks the PS wire protocol toward a set of server ranks: push,
+// pull and push-pull decompose into per-chunk request frames pipelined
+// through the reserved PS stream, so a server can answer early chunks
+// while later ones are still being pushed. Payloads travel through pooled
+// buffers end to end (writev on TCP sends, pooled receives), and lossy
+// wire dtypes carry client-side error-feedback residuals.
+//
+// A Client belongs to one goroutine — the group leader — like every other
+// SPMD communication handle in the repository.
+type Client struct {
+	view     transport.Mesh
+	cfg      ClientConfig
+	chunks   int
+	offsets  []int
+	residual tensor.Vector // push-side EF carry, nil for exact wires
+}
+
+var _ GlobalStore = (*Client)(nil)
+
+// NewClient validates cfg against the mesh and returns a client ready for
+// exchanges. No traffic flows until the first operation.
+func NewClient(mesh transport.Mesh, cfg ClientConfig) (*Client, error) {
+	if cfg.Key == "" {
+		return nil, fmt.Errorf("ps: empty client key")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("ps: client dim %d", cfg.Dim)
+	}
+	if !cfg.Wire.Valid() {
+		return nil, fmt.Errorf("ps: unknown wire dtype %d", cfg.Wire)
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("ps: no server ranks")
+	}
+	for _, r := range cfg.Servers {
+		if r < 0 || r >= mesh.Size() {
+			return nil, fmt.Errorf("ps: server rank %d of %d", r, mesh.Size())
+		}
+		if r == mesh.Rank() {
+			return nil, fmt.Errorf("ps: rank %d cannot be its own server (use Loopback)", r)
+		}
+	}
+	chunks := cfg.chunkCount()
+	offsets, err := collective.ShardOffsets(cfg.Dim, chunks, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		view:    transport.Streams(mesh).StreamView(PSStream),
+		cfg:     cfg,
+		chunks:  chunks,
+		offsets: offsets,
+	}
+	if cfg.Wire != tensor.F64 {
+		c.residual = tensor.New(cfg.Dim)
+	}
+	return c, nil
+}
+
+func (c *Client) serverOf(chunk int) int {
+	return c.cfg.Servers[chunk%len(c.cfg.Servers)]
+}
+
+// PushPull applies value to the global model and returns the post-update
+// model — the hierarchical leader's exchange. The returned version is the
+// minimum across chunks (they are equal whenever exchanges are ordered).
+func (c *Client) PushPull(value tensor.Vector, mode UpdateMode, minVersion int64) (tensor.Vector, int64, error) {
+	out := tensor.New(c.cfg.Dim)
+	ver, err := c.exchange(transport.MsgPSPushPull, value, mode, minVersion, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, ver, nil
+}
+
+// Push applies value to the global model without pulling it back.
+func (c *Client) Push(value tensor.Vector, mode UpdateMode) (int64, error) {
+	return c.exchange(transport.MsgPSPush, value, mode, 0, nil)
+}
+
+// Pull returns the current global model and its version.
+func (c *Client) Pull() (tensor.Vector, int64, error) {
+	out := tensor.New(c.cfg.Dim)
+	ver, err := c.exchange(transport.MsgPSPull, nil, 0, 0, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, ver, nil
+}
+
+// exchange runs one chunked, windowed operation: up to Window chunk
+// requests stay in flight, and acks are consumed in send order (each
+// server answers its requests FIFO, and chunks visit servers round-robin,
+// so the next expected ack is always at the head of its server's stream).
+func (c *Client) exchange(typ transport.MsgType, body tensor.Vector, mode UpdateMode, minVersion int64, out tensor.Vector) (int64, error) {
+	if body != nil && len(body) != c.cfg.Dim {
+		return 0, fmt.Errorf("ps: %w: pushed %d elems, dim %d", tensor.ErrShapeMismatch, len(body), c.cfg.Dim)
+	}
+	window := c.cfg.window()
+	version := int64(math.MaxInt64)
+	sent, recvd := 0, 0
+	var sendErr error
+	for recvd < c.chunks {
+		for sendErr == nil && sent < c.chunks && sent-recvd < window {
+			if sendErr = c.sendReq(typ, sent, mode, minVersion, body); sendErr == nil {
+				sent++
+			}
+		}
+		if recvd == sent {
+			return 0, sendErr
+		}
+		ver, err := c.recvAck(typ, recvd, out)
+		if err != nil {
+			// The response stream is out of step; outstanding acks are
+			// unrecoverable.
+			return 0, err
+		}
+		recvd++
+		if ver < version {
+			version = ver
+		}
+	}
+	if sendErr != nil {
+		return 0, sendErr
+	}
+	return version, nil
+}
+
+// sendReq ships one chunk request. Push payloads stage through a pooled
+// buffer handed to the transport zero-copy; lossy wires fold the EF
+// residual in and ship grid values, so the wire encode is bit-exact and
+// the residual update needs no echo from the server.
+func (c *Client) sendReq(typ transport.MsgType, chunk int, mode UpdateMode, minVersion int64, body tensor.Vector) error {
+	msg := transport.Message{
+		Type: typ, Stream: PSStream, Iter: minVersion,
+		Chunk: psTag(mode, chunk), Dtype: c.cfg.Wire,
+	}
+	if typ == transport.MsgPSPull {
+		return c.view.Send(c.serverOf(chunk), msg)
+	}
+	lo, hi := c.offsets[chunk], c.offsets[chunk+1]
+	buf := transport.GetPayload(hi - lo)
+	copy(buf, body[lo:hi])
+	if c.residual != nil {
+		tensor.RoundTripEF(c.cfg.Wire, buf, c.residual[lo:hi])
+	}
+	msg.Payload = buf
+	return transport.SendOwned(c.view, c.serverOf(chunk), msg)
+}
+
+// recvAck consumes the ack for chunk and scatters pulled values into out.
+func (c *Client) recvAck(typ transport.MsgType, chunk int, out tensor.Vector) (int64, error) {
+	msg, err := c.view.Recv(c.serverOf(chunk))
+	if err != nil {
+		return 0, err
+	}
+	defer transport.PutPayload(msg.Payload)
+	if msg.Type != transport.MsgPSAck {
+		return 0, fmt.Errorf("ps: expected ack, got frame type %d", msg.Type)
+	}
+	if _, got, err := splitTag(msg.Chunk); err != nil || got != chunk {
+		return 0, fmt.Errorf("ps: ack for chunk %d, want %d (tag %d)", got, chunk, msg.Chunk)
+	}
+	if typ == transport.MsgPSPush {
+		if len(msg.Payload) != 0 {
+			return 0, fmt.Errorf("ps: push ack carries %d elems", len(msg.Payload))
+		}
+		return msg.Iter, nil
+	}
+	if msg.Iter == 0 && len(msg.Payload) == 0 {
+		return 0, fmt.Errorf("pull %q chunk %d: %w", c.cfg.Key, chunk, ErrUnknownKey)
+	}
+	lo, hi := c.offsets[chunk], c.offsets[chunk+1]
+	if len(msg.Payload) != hi-lo {
+		return 0, fmt.Errorf("ps: ack chunk %d carries %d elems, want %d", chunk, len(msg.Payload), hi-lo)
+	}
+	copy(out[lo:hi], msg.Payload)
+	return msg.Iter, nil
+}

@@ -182,6 +182,149 @@ func TestKeysAndDelete(t *testing.T) {
 	}
 }
 
+func TestKeysSorted(t *testing.T) {
+	s := NewStore(8)
+	for _, k := range []string{"zeta", "alpha", "mid", "beta"} {
+		if _, err := s.Push(k, tensor.New(1), Overwrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want sorted %v", got, want)
+		}
+	}
+}
+
+// TestOneKeyHammer drives one key from many goroutines with mixed
+// Push/Pull/PushPull under the race detector. The torn-read check relies on
+// an invariant every applied mode preserves: all operands are uniform
+// vectors, so every correctly published snapshot is uniform — a pull that
+// observes two different elements caught a buffer being mutated after
+// publication. Versions observed by one goroutine must never regress.
+func TestOneKeyHammer(t *testing.T) {
+	s := NewStore(4)
+	const dim = 512
+	if _, err := s.Push("hot", tensor.New(dim), Overwrite); err != nil {
+		t.Fatal(err)
+	}
+	uniform := func(c float64) tensor.Vector {
+		v := tensor.New(dim)
+		v.Fill(c)
+		return v
+	}
+	check := func(v tensor.Vector, ver, last int64) error {
+		if ver < last {
+			return fmt.Errorf("version regressed: %d after %d", ver, last)
+		}
+		if v != nil {
+			for i := 1; i < len(v); i++ {
+				if v[i] != v[0] {
+					return fmt.Errorf("torn read at version %d: v[%d]=%v, v[0]=%v", ver, i, v[i], v[0])
+				}
+			}
+		}
+		return nil
+	}
+	const workers, ops = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for i := 0; i < ops; i++ {
+				var (
+					v   tensor.Vector
+					ver int64
+					err error
+				)
+				switch (w + i) % 3 {
+				case 0:
+					ver, err = s.Push("hot", uniform(1), Add)
+				case 1:
+					v, ver, err = s.Pull("hot")
+				default:
+					v, ver, err = s.PushPull("hot", uniform(float64(w)), Average)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := check(v, ver, last); err != nil {
+					errs <- err
+					return
+				}
+				last = ver
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, ver, err := s.Pull("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check(got, ver, 0); err != nil {
+		t.Fatal(err)
+	}
+	if wantVer := int64(1 + workers*ops*2/3); ver != wantVer {
+		t.Fatalf("final version = %d, want %d", ver, wantVer)
+	}
+}
+
+func TestWaitVersionBlocksUntilPublish(t *testing.T) {
+	s := NewStore(2)
+	done := make(chan int64, 1)
+	go func() { done <- s.WaitVersion("late", 3) }()
+	select {
+	case v := <-done:
+		t.Fatalf("WaitVersion returned %d before key existed", v)
+	default:
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Push("late", tensor.FromSlice([]float64{1}), Add); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := <-done; v < 3 {
+		t.Fatalf("WaitVersion = %d, want ≥ 3", v)
+	}
+}
+
+func TestPushPullMinOrdering(t *testing.T) {
+	s := NewStore(1)
+	if _, err := s.Push("k", tensor.FromSlice([]float64{0}), Overwrite); err != nil {
+		t.Fatal(err)
+	}
+	// Start the later exchange first: it must wait for version 2.
+	out := make(chan float64, 1)
+	go func() {
+		v, _, err := s.PushPullMin("k", tensor.FromSlice([]float64{10}), Add, 2)
+		if err != nil {
+			out <- -1
+			return
+		}
+		out <- v[0]
+	}()
+	if v, _, err := s.PushPullMin("k", tensor.FromSlice([]float64{1}), Add, 1); err != nil || v[0] != 1 {
+		t.Fatalf("first exchange = %v, %v", v, err)
+	}
+	if got := <-out; got != 11 {
+		t.Fatalf("second exchange saw %v, want 11 (after first)", got)
+	}
+}
+
 func TestZeroShardsClamped(t *testing.T) {
 	s := NewStore(0)
 	if _, err := s.Push("k", tensor.New(1), Overwrite); err != nil {

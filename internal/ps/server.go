@@ -1,0 +1,244 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// DefaultChunks is the default chunk count a PS deployment splits its
+// model into. More chunks buy more request pipelining and finer-grained
+// server-side locking; fewer amortize the frame header better.
+const DefaultChunks = 8
+
+// ServerConfig configures one parameter-server rank. Clients and servers
+// must agree on Key, Dim and Chunks — the chunk geometry is configuration,
+// exactly like a collective's schedule.
+type ServerConfig struct {
+	// Key is the logical model key; chunk c is stored under "Key#c".
+	Key string
+	// Dim is the model dimension.
+	Dim int
+	// Chunks is the chunk-shard count (default DefaultChunks, clamped to
+	// [1, min(Dim, MaxChunks)]).
+	Chunks int
+	// Init optionally seeds every chunk at version 1 with the
+	// corresponding span of this vector (len Dim). Hierarchical training
+	// seeds with the shared initial model so group deltas accumulate on
+	// top of it.
+	Init tensor.Vector
+	// Store optionally supplies the backing store (a fresh one is built
+	// when nil). Sharing a store between a Server and in-process callers
+	// is how the loopback and networked paths stay interchangeable.
+	Store *Store
+}
+
+func (c *ServerConfig) chunkCount() int {
+	n := c.Chunks
+	if n < 1 {
+		n = DefaultChunks
+	}
+	if n > c.Dim {
+		n = c.Dim
+	}
+	if n > MaxChunks {
+		n = MaxChunks
+	}
+	return n
+}
+
+// Server serves the PS frame protocol for one rank of a mesh: one handler
+// goroutine per peer decodes chunk requests in arrival order, applies them
+// to the snapshot store, and acks — with the chunk's values for pull-class
+// requests, shipped zero-copy from a pooled buffer. Because each chunk is
+// its own store key, concurrent clients touching different chunks never
+// contend, and pulls read published snapshots without blocking pushes.
+//
+// For lossy reply dtypes the server keeps one error-feedback residual per
+// chunk on the owner side: each compressed reply carries the quantization
+// error of the previous one, so the lost mass is corrected on the next
+// pull instead of accumulating.
+type Server struct {
+	view    transport.Mesh
+	store   *Store
+	keys    []string
+	offsets []int
+
+	// resMu[c] guards res[c], the owner-side EF residual of chunk c
+	// (allocated on first lossy reply).
+	resMu []sync.Mutex
+	res   []tensor.Vector
+
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewServer validates cfg, seeds the store when Init is given, and starts
+// one handler goroutine per peer rank. The handlers run until the mesh
+// closes; Wait blocks for them and reports the first protocol violation.
+func NewServer(mesh transport.Mesh, cfg ServerConfig) (*Server, error) {
+	if cfg.Key == "" {
+		return nil, fmt.Errorf("ps: empty server key")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("ps: server dim %d", cfg.Dim)
+	}
+	chunks := cfg.chunkCount()
+	offsets, err := collective.ShardOffsets(cfg.Dim, chunks, nil)
+	if err != nil {
+		return nil, err
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewStore(chunks)
+	}
+	s := &Server{
+		view:    transport.Streams(mesh).StreamView(PSStream),
+		store:   store,
+		keys:    chunkKeys(cfg.Key, chunks),
+		offsets: offsets,
+		resMu:   make([]sync.Mutex, chunks),
+		res:     make([]tensor.Vector, chunks),
+	}
+	if cfg.Init != nil {
+		if len(cfg.Init) != cfg.Dim {
+			return nil, fmt.Errorf("ps: init vector %d elems, dim %d", len(cfg.Init), cfg.Dim)
+		}
+		for c := range s.keys {
+			if _, err := store.Push(s.keys[c], cfg.Init[offsets[c]:offsets[c+1]], Overwrite); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for peer := 0; peer < mesh.Size(); peer++ {
+		if peer == mesh.Rank() {
+			continue
+		}
+		s.wg.Add(1)
+		go s.serve(peer)
+	}
+	return s, nil
+}
+
+// Store returns the backing store (shared with the loopback fast path).
+func (s *Server) Store() *Store { return s.store }
+
+// Wait blocks until every handler has exited — which happens when the mesh
+// closes — and returns the first protocol violation observed, if any.
+func (s *Server) Wait() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+func (s *Server) fail(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// serve is one peer's handler loop: requests are processed strictly in
+// arrival order, which is what lets acks match requests positionally on
+// the client. A request whose version horizon has not been reached parks
+// this loop only — other clients' handlers keep running.
+func (s *Server) serve(peer int) {
+	defer s.wg.Done()
+	for {
+		msg, err := s.view.Recv(peer)
+		if err != nil {
+			// Mesh closed or peer gone — a clean end of service.
+			return
+		}
+		if err := s.handle(peer, msg); err != nil {
+			if !errors.Is(err, transport.ErrClosed) {
+				s.fail(fmt.Errorf("ps: serving rank %d: %w", peer, err))
+			}
+			return
+		}
+	}
+}
+
+// handle applies one request frame and acks it. The request payload (a
+// pooled buffer owned by this side since Recv) is released here.
+func (s *Server) handle(peer int, msg transport.Message) error {
+	mode, chunk, err := splitTag(msg.Chunk)
+	if err != nil {
+		transport.PutPayload(msg.Payload)
+		return err
+	}
+	if chunk >= len(s.keys) {
+		transport.PutPayload(msg.Payload)
+		return fmt.Errorf("ps: chunk %d of %d", chunk, len(s.keys))
+	}
+	span := s.offsets[chunk+1] - s.offsets[chunk]
+	if err := reqPayloadLen(msg.Type, len(msg.Payload), span); err != nil {
+		transport.PutPayload(msg.Payload)
+		return err
+	}
+	switch msg.Type {
+	case transport.MsgPSPush, transport.MsgPSPushPull:
+		if mode < Overwrite {
+			transport.PutPayload(msg.Payload)
+			return fmt.Errorf("ps: push request without update mode")
+		}
+		snap, err := s.store.applySnap(s.keys[chunk], msg.Payload, mode, msg.Iter)
+		transport.PutPayload(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if msg.Type == transport.MsgPSPush {
+			version := snap.version
+			snap.release()
+			return s.view.Send(peer, transport.Message{
+				Type: transport.MsgPSAck, Stream: PSStream, Iter: version, Chunk: msg.Chunk,
+			})
+		}
+		err = s.ackValues(peer, msg.Chunk, chunk, msg.Dtype, snap)
+		snap.release()
+		return err
+	case transport.MsgPSPull:
+		snap, ok := s.store.acquireSnap(s.keys[chunk])
+		if !ok {
+			// Version 0 with an empty payload signals the unknown key.
+			return s.view.Send(peer, transport.Message{
+				Type: transport.MsgPSAck, Stream: PSStream, Chunk: msg.Chunk,
+			})
+		}
+		err := s.ackValues(peer, msg.Chunk, chunk, msg.Dtype, snap)
+		snap.release()
+		return err
+	default:
+		transport.PutPayload(msg.Payload)
+		return fmt.Errorf("ps: unexpected frame type %d", msg.Type)
+	}
+}
+
+// ackValues replies with a chunk's published values. The payload is staged
+// in a pooled buffer and handed to the transport zero-copy (SendOwned);
+// lossy reply dtypes fold in the owner-side EF residual, and ship values
+// already on the quantization grid so the wire encode is bit-exact.
+func (s *Server) ackValues(peer int, tag int32, chunk int, d tensor.Dtype, snap *snapshot) error {
+	n := len(snap.value)
+	buf := transport.GetPayload(n)
+	copy(buf, snap.value)
+	if d != tensor.F64 {
+		s.resMu[chunk].Lock()
+		if s.res[chunk] == nil {
+			s.res[chunk] = tensor.New(n)
+		}
+		tensor.RoundTripEF(d, buf[:n], s.res[chunk])
+		s.resMu[chunk].Unlock()
+	}
+	return transport.SendOwned(s.view, peer, transport.Message{
+		Type: transport.MsgPSAck, Stream: PSStream, Iter: snap.version, Chunk: tag,
+		Dtype: d, Payload: buf,
+	})
+}

@@ -52,6 +52,57 @@ func scaleVec(a []float64, c float64) {
 	}
 }
 
+// avgVec computes a[i] = (a[i]+b[i])/2 — the parameter-server Average mode
+// fused into one pass. The expression matches the scalar loop it replaces
+// exactly (add, then halve), so results stay bit-identical.
+func avgVec(a, b []float64) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] = (a[i] + b[i]) / 2
+		a[i+1] = (a[i+1] + b[i+1]) / 2
+		a[i+2] = (a[i+2] + b[i+2]) / 2
+		a[i+3] = (a[i+3] + b[i+3]) / 2
+	}
+	for ; i < len(a); i++ {
+		a[i] = (a[i] + b[i]) / 2
+	}
+}
+
+// sumTo computes dst[i] = a[i] + b[i] in one pass — the out-of-place fused
+// form of addVec, bit-identical to clone-then-add.
+func sumTo(dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a[i] + b[i]
+		dst[i+1] = a[i+1] + b[i+1]
+		dst[i+2] = a[i+2] + b[i+2]
+		dst[i+3] = a[i+3] + b[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// avgTo computes dst[i] = (a[i]+b[i])/2 in one pass — the out-of-place
+// fused form of avgVec, bit-identical to clone-then-average.
+func avgTo(dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = (a[i] + b[i]) / 2
+		dst[i+1] = (a[i+1] + b[i+1]) / 2
+		dst[i+2] = (a[i+2] + b[i+2]) / 2
+		dst[i+3] = (a[i+3] + b[i+3]) / 2
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = (a[i] + b[i]) / 2
+	}
+}
+
 // axpyVec computes a[i] += c*b[i], the fused multiply-add behind AddScaled.
 func axpyVec(a []float64, c float64, b []float64) {
 	b = b[:len(a)]

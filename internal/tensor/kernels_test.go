@@ -39,6 +39,8 @@ func TestKernelsMatchScalar(t *testing.T) {
 		scaleVec(scale, c)
 		axpy := a.Clone()
 		axpyVec(axpy, c, b)
+		avg := a.Clone()
+		avgVec(avg, b)
 
 		for i := 0; i < n; i++ {
 			if got, want := add[i], a[i]+b[i]; math.Float64bits(got) != math.Float64bits(want) {
@@ -52,6 +54,9 @@ func TestKernelsMatchScalar(t *testing.T) {
 			}
 			if got, want := axpy[i], a[i]+c*b[i]; math.Float64bits(got) != math.Float64bits(want) {
 				t.Fatalf("axpyVec n=%d i=%d: got %v, want %v", n, i, got, want)
+			}
+			if got, want := avg[i], (a[i]+b[i])/2; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("avgVec n=%d i=%d: got %v, want %v", n, i, got, want)
 			}
 		}
 	}

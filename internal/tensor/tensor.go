@@ -81,6 +81,37 @@ func (v Vector) Sub(other Vector) error {
 	return nil
 }
 
+// AverageWith computes v = (v+other)/2 element-wise — the model-averaging
+// update the parameter server applies, fused into one pass.
+func (v Vector) AverageWith(other Vector) error {
+	if len(v) != len(other) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrShapeMismatch, len(v), len(other))
+	}
+	avgVec(v, other)
+	return nil
+}
+
+// SumInto computes dst = a + b in a single fused pass, bit-identical to
+// copying a into dst and adding b but without the extra memory sweep. The
+// parameter-server store builds successor snapshots with it.
+func SumInto(dst, a, b Vector) error {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		return fmt.Errorf("%w: dst %d, a %d, b %d", ErrShapeMismatch, len(dst), len(a), len(b))
+	}
+	sumTo(dst, a, b)
+	return nil
+}
+
+// AverageInto computes dst = (a + b)/2 in a single fused pass,
+// bit-identical to copy-then-AverageWith.
+func AverageInto(dst, a, b Vector) error {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		return fmt.Errorf("%w: dst %d, a %d, b %d", ErrShapeMismatch, len(dst), len(a), len(b))
+	}
+	avgTo(dst, a, b)
+	return nil
+}
+
 // Scale multiplies v by c in place.
 func (v Vector) Scale(c float64) {
 	scaleVec(v, c)

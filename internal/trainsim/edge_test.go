@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/hetero"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -170,5 +171,47 @@ func TestPSSyncEveryKnob(t *testing.T) {
 	a, b := mk(1), mk(16)
 	if a.FinalParams.Equal(b.FinalParams, 0) {
 		t.Error("PS period had no effect")
+	}
+}
+
+// TestHierarchicalChunkedPSPricing: pricing the PS exchange with the
+// pipelined wire protocol (chunked frames, overlapped acks) finishes no
+// later than the monolithic round trip, and stays deterministic.
+func TestHierarchicalChunkedPSPricing(t *testing.T) {
+	base := testConfig(t, RNAHierarchical, 6, 40)
+	base.Injector = hetero.NewMixedGroups(6)
+	mono, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked := base
+	chunked.PSChunks = 8
+	a, err := Run(chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VirtualTime > mono.VirtualTime {
+		t.Errorf("chunked PS pricing %v slower than monolithic %v", a.VirtualTime, mono.VirtualTime)
+	}
+	// The pricing changes time, never the trajectory.
+	if !a.FinalParams.Equal(mono.FinalParams, 0) {
+		t.Error("PS pricing changed the simulated trajectory")
+	}
+	b, err := Run(chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VirtualTime != b.VirtualTime {
+		t.Error("chunked pricing not deterministic")
+	}
+	// An f16 wire shrinks the exchange further.
+	f16 := chunked
+	f16.PSWire = tensor.F16
+	c, err := Run(f16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VirtualTime > a.VirtualTime {
+		t.Errorf("f16 PS wire %v slower than f64 %v", c.VirtualTime, a.VirtualTime)
 	}
 }

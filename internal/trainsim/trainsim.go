@@ -189,6 +189,16 @@ type Config struct {
 	// group synchronizations (default 4; the paper leaves frequency
 	// tuning as future work).
 	PSSyncEvery int
+	// PSChunks is the chunk count of the hierarchical PS exchange. With
+	// 0 or 1 the exchange is priced as one monolithic round trip
+	// (CommModel.PSPushPull); with more chunks it is priced by the
+	// pipelined wire-protocol model (CommModel.PSPushPullWire), where
+	// early acks overlap later pushes.
+	PSChunks int
+	// PSWire is the PS exchange's wire dtype (default tensor.F64); lossy
+	// dtypes shrink the priced bytes exactly like the runtime client's
+	// compressed wire does.
+	PSWire tensor.Dtype
 
 	// Parallelism controls the engine's per-round gradient fan-out: 0
 	// (the default) fans independent per-worker Model.Gradient calls out

@@ -30,6 +30,17 @@ func FuzzReadMessage(f *testing.F) {
 		Message{Type: MsgReduce, Iter: 4, Payload: []float64{1.25, -7, 0.5}, Indices: []int32{3, 17, 4096}},
 		Message{Type: MsgReduce, Iter: 5, Dtype: tensor.F16, Payload: []float64{2, 3, 5}, Indices: []int32{0, 1, 2}},
 	)
+	// Parameter-server frame family: chunked push/pull/push-pull requests
+	// (mode packed into the chunk tag's high bits, version horizon in Iter)
+	// and acks (new version in Iter), dense and compressed.
+	seeds = append(seeds,
+		Message{Type: MsgPSPush, Stream: 1 << 16, Iter: 0, Chunk: 2<<24 | 3, Payload: []float64{0.5, -1}},
+		Message{Type: MsgPSPull, Stream: 1 << 16, Chunk: 1},
+		Message{Type: MsgPSPushPull, Stream: 1 << 16, Iter: 7, Chunk: 3<<24 | 0, Payload: []float64{1, 2, 3}},
+		Message{Type: MsgPSPushPull, Stream: 1 << 16, Iter: 2, Chunk: 2<<24 | 5, Dtype: tensor.F16, Payload: []float64{-2.5, 8}},
+		Message{Type: MsgPSAck, Stream: 1 << 16, Iter: 42, Chunk: 3<<24 | 0, Payload: []float64{4, 5, 6}},
+		Message{Type: MsgPSAck, Stream: 1 << 16, Iter: 1, Chunk: 2<<24 | 3},
+	)
 	for _, m := range seeds {
 		buf, err := Encode(nil, m)
 		if err != nil {

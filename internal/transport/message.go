@@ -58,10 +58,28 @@ const (
 	// MsgReduce carries partial sums during tree and halving-doubling
 	// reductions (fold-in, recursive-halving and reduce-to-root traffic).
 	MsgReduce
+	// MsgPSPush carries one chunk of a parameter-server push request: the
+	// payload is the pushed values, the chunk tag packs the update mode
+	// and chunk index (see internal/ps). Answered by an empty MsgPSAck.
+	MsgPSPush
+	// MsgPSPull carries a parameter-server pull request for one chunk
+	// (empty payload). Answered by a MsgPSAck holding the chunk's values.
+	MsgPSPull
+	// MsgPSPushPull carries one chunk of a combined push+pull request;
+	// the MsgPSAck returns the chunk's post-update values.
+	MsgPSPushPull
+	// MsgPSAck answers a parameter-server request: the iteration tag
+	// carries the chunk's new version and the chunk tag echoes the
+	// request's. Acks to pull-class requests carry the chunk values.
+	MsgPSAck
 
 	// maxMsgType bounds the valid type range for the frame decoder.
-	maxMsgType = MsgReduce
+	maxMsgType = MsgPSAck
 )
+
+// IsPS reports whether t belongs to the parameter-server frame family —
+// the types a peer must advertise CapPS to decode.
+func (t MsgType) IsPS() bool { return t >= MsgPSPush && t <= MsgPSAck }
 
 // Message is the unit of exchange on a Mesh.
 type Message struct {

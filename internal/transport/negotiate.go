@@ -58,11 +58,16 @@ const (
 	// CapStreams — routes frames by the header stream id (without it, only
 	// stream 0 may be used toward this peer).
 	CapStreams
+	// CapPS — decodes the parameter-server frame family (push / pull /
+	// push-pull / ack). Peers built before the PS service treat those
+	// types as malformed frames, so a send toward a peer without this bit
+	// is rejected typed instead of poisoning its decoder.
+	CapPS
 )
 
 // CapsAll is every capability this build implements — the default advertised
 // set.
-const CapsAll = CapF32 | CapF16 | CapI8 | CapSparse | CapStreams
+const CapsAll = CapF32 | CapF16 | CapI8 | CapSparse | CapStreams | CapPS
 
 // String lists the set bits for diagnostics.
 func (c Caps) String() string {
@@ -72,7 +77,7 @@ func (c Caps) String() string {
 	names := []struct {
 		bit  Caps
 		name string
-	}{{CapF32, "f32"}, {CapF16, "f16"}, {CapI8, "i8"}, {CapSparse, "sparse"}, {CapStreams, "streams"}}
+	}{{CapF32, "f32"}, {CapF16, "f16"}, {CapI8, "i8"}, {CapSparse, "sparse"}, {CapStreams, "streams"}, {CapPS, "ps"}}
 	out := ""
 	for _, n := range names {
 		if c&n.bit != 0 {

@@ -321,6 +321,45 @@ func TestCapabilityGateSparseAndStreams(t *testing.T) {
 	}
 }
 
+// TestCapabilityGatePS: parameter-server frames toward a peer built before
+// the PS family (no CapPS in its hello) are rejected typed at send — the
+// old decoder would treat the unknown types as malformed frames and tear
+// the connection down, so the frames must never leave.
+func TestCapabilityGatePS(t *testing.T) {
+	meshes, err := NewTCPClusterOpts(2, func(rank int) MeshOptions {
+		if rank == 1 {
+			return MeshOptions{Caps: CapsAll &^ CapPS}
+		}
+		return MeshOptions{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			_ = m.Close()
+		}
+	}()
+	for _, typ := range []MsgType{MsgPSPush, MsgPSPull, MsgPSPushPull, MsgPSAck} {
+		if err := meshes[0].Send(1, Message{Type: typ, Payload: []float64{1}}); !errors.Is(err, ErrCapability) {
+			t.Errorf("type %d send err = %v, want ErrCapability", typ, err)
+		}
+	}
+	// Non-PS traffic to the same peer still flows.
+	go func() { _ = meshes[0].Send(1, Message{Type: MsgChunk, Iter: 5, Payload: []float64{2}}) }()
+	msg, err := meshes[1].Recv(0)
+	if err != nil || msg.Iter != 5 {
+		t.Fatalf("plain frame after gating: %+v, %v", msg, err)
+	}
+	// A full-capability pair carries PS frames end to end.
+	if err := meshes[1].Send(1, Message{Type: MsgPSAck, Iter: 9}); err != nil {
+		t.Fatalf("loopback ps send: %v", err)
+	}
+	if msg, err := meshes[1].Recv(1); err != nil || msg.Iter != 9 {
+		t.Fatalf("loopback ps recv: %+v, %v", msg, err)
+	}
+}
+
 // TestSetLinkRateConcurrent: SetLinkRate racing in-flight sends must be a
 // clean atomic handoff (run under -race).
 func TestSetLinkRateConcurrent(t *testing.T) {

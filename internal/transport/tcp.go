@@ -396,6 +396,10 @@ func (m *TCPMesh) send(to int, msg Message, owned bool) error {
 		release()
 		return fmt.Errorf("%w: sparse frame to rank %d (negotiated %v)", ErrCapability, to, c.caps)
 	}
+	if msg.Type.IsPS() && c.caps&CapPS == 0 {
+		release()
+		return fmt.Errorf("%w: ps frame to rank %d (negotiated %v)", ErrCapability, to, c.caps)
+	}
 	if dc := dtypeCap(msg.Dtype); dc != 0 && c.caps&dc == 0 {
 		if !owned {
 			if msg.Payload != nil {

@@ -433,9 +433,51 @@ func (c CommModel) Broadcast(n int, bytes int64) time.Duration {
 }
 
 // PSPushPull returns the cost of one push+pull round trip with a parameter
-// server for `bytes` of parameters.
+// server for `bytes` of parameters — the monolithic (unchunked, f64)
+// exchange. PSPushPullWire prices the pipelined wire protocol.
 func (c CommModel) PSPushPull(bytes int64) time.Duration {
 	return 2 * c.transfer(bytes)
+}
+
+// PSPushPullWire prices one chunked push-pull against the networked
+// parameter server (internal/ps wire protocol): the model's elems split
+// into `chunks` request frames at the wire dtype, pushed back-to-back on
+// the uplink while acks stream back on the downlink. Chunk i's ack can
+// start only after its push finishes and the previous ack has drained
+// (full-duplex link, serialized per direction), so with symmetric chunk
+// sizes the pipeline hides all but one ack behind the pushes:
+//
+//	pushDone_i = pushDone_{i-1} + B(chunk)
+//	ackDone_i  = max(ackDone_{i-1}, pushDone_i + Latency) + B(chunk)
+//
+// where B is the bandwidth term. With chunks = 1 this degenerates to the
+// monolithic round trip (one latency charged per direction).
+func (c CommModel) PSPushPullWire(elems int, chunks int, wire tensor.Dtype) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > elems {
+		chunks = elems
+	}
+	var pushDone, ackDone time.Duration
+	pushDone = c.Latency // connection/head-of-line latency of the first frame
+	for i := 0; i < chunks; i++ {
+		span := elems / chunks
+		if i < elems%chunks {
+			span++
+		}
+		b := c.bytesCost(int64(wire.WireBytes(span)))
+		pushDone += b
+		ready := pushDone + c.Latency
+		if ackDone > ready {
+			ready = ackDone
+		}
+		ackDone = ready + b
+	}
+	return ackDone
 }
 
 // HostDeviceCopy returns the cost of one one-way host↔device copy.
